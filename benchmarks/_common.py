@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints its reproduced table/figure next to the paper's
+reported values and also writes it to ``benchmarks/results/<name>.txt`` so
+the EXPERIMENTS.md record can be assembled from a plain
+``pytest benchmarks/ --benchmark-only`` run (add ``-s`` to see the tables
+live).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def anvil_table2_text() -> str:
+    """Table 2 (detector parameters) — printed alongside every ANVIL bench."""
+    from repro.core import AnvilConfig
+
+    config = AnvilConfig.baseline()
+    return (
+        "Table 2 - Rowhammer Detector Parameters (baseline)\n"
+        f"  LLC_MISS_THRESHOLD : {config.llc_miss_threshold}\n"
+        f"  Miss Count Duration (tc) : {config.tc_ms} ms\n"
+        f"  Sampling Duration  (ts) : {config.ts_ms} ms\n"
+        f"  Sampling rate           : {config.sampling_rate_hz:.0f} samples/s\n"
+    )

@@ -1,0 +1,67 @@
+"""Figure 4 — Sensitivity of execution overheads to potential future
+attacks.
+
+Paper (Section 4.5): against future modules flipping at 110K accesses,
+ANVIL-heavy (2 ms windows) and ANVIL-light (10K threshold) cost only
+slightly more than the baseline on {bzip2, gcc, gobmk, libquantum,
+perlbench}; "decreasing the last-level miss sample period to 2 ms has the
+larger performance impact, which is expected as the sampling overheads
+are experienced continuously".
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_figure_series
+from repro.core import AnvilConfig
+from repro.sim.epoch import EpochModel
+from repro.workloads import spec_profile
+
+from _common import publish
+
+BENCHMARKS = ("bzip2", "gcc", "gobmk", "libquantum", "perlbench")
+HORIZON_S = 60.0
+
+CONFIGS = (
+    ("ANVIL-baseline", AnvilConfig.baseline()),
+    ("ANVIL-light", AnvilConfig.light()),
+    ("ANVIL-heavy", AnvilConfig.heavy()),
+)
+
+
+def run_fig4() -> dict[str, dict[str, float]]:
+    series: dict[str, dict[str, float]] = {}
+    for config_name, config in CONFIGS:
+        times = {}
+        for name in BENCHMARKS:
+            result = EpochModel(
+                spec_profile(name), config, config_name=config_name, seed=19
+            ).run(HORIZON_S)
+            times[name] = result.normalized_time
+        series[config_name] = times
+    return series
+
+
+def test_fig4_sensitivity(benchmark):
+    series = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    text = format_figure_series(
+        "Figure 4 - Normalized execution time under baseline/light/heavy "
+        "(paper range: 1.00-1.08)",
+        series,
+        bar_scale=(0.99, 1.09),
+    )
+    publish("fig4_sensitivity", text)
+    base = series["ANVIL-baseline"]
+    light = series["ANVIL-light"]
+    heavy = series["ANVIL-heavy"]
+    for name in BENCHMARKS:
+        # Detecting nimbler attacks costs more, but only slightly
+        # ("ANVIL has room to grow"): nothing above ~8%.
+        assert max(light[name], heavy[name]) < 1.08
+        # The halved threshold can only increase stage-1 triggering.
+        assert light[name] >= base[name] - 1e-9
+    # Heavy keeps the 20K threshold over 2 ms windows: the always-missing
+    # benchmark still pays full sampling duty (plus 3x the fixed window
+    # costs), while mid-rate benchmarks trigger *less* — a modelling
+    # deviation from Figure 4 recorded in EXPERIMENTS.md.
+    assert heavy["libquantum"] >= base["libquantum"] - 1e-9
+    assert light["gcc"] > base["gcc"]

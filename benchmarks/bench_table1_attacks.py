@@ -1,0 +1,81 @@
+"""Table 1 — Rowhammer Attack Characteristics.
+
+Paper (Sandy Bridge laptop, 4 GB DDR3):
+
+    Technique                      Min row accesses   Time to first flip
+    Single-sided with CLFLUSH      400K               58 ms
+    Double-sided with CLFLUSH      220K               15 ms
+    Double-sided without CLFLUSH   220K               45 ms
+
+The paper reports *minimum* values over its measurement campaign, so each
+attack runs over a few seeds (different page placements, hence different
+victim refresh phases) and the minimum is reported.  Absolute times track
+the calibrated cycle model; the two properties that must hold are the
+access-count ratios (double-sided ~220K; single-sided ~2x that) and the
+speed ordering (double CLFLUSH < CLFLUSH-free < single CLFLUSH).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.attacks import (
+    ClflushFreeAttack,
+    DoubleSidedClflushAttack,
+    SingleSidedClflushAttack,
+)
+from repro.presets import paper_machine
+from repro.units import MB
+
+from _common import publish
+
+PAPER = {
+    "Single-Sided with CLFLUSH": (400_000, 58.0),
+    "Double-Sided with CLFLUSH": (220_000, 15.0),
+    "Double-Sided without CLFLUSH": (220_000, 45.0),
+}
+
+CASES = (
+    ("Single-Sided with CLFLUSH", SingleSidedClflushAttack, (0, 1), 200.0),
+    ("Double-Sided with CLFLUSH", DoubleSidedClflushAttack, (0, 1, 2), 120.0),
+    ("Double-Sided without CLFLUSH", ClflushFreeAttack, (0, 1), 160.0),
+)
+
+
+def run_table1() -> list[list[str]]:
+    rows = []
+    for label, attack_cls, seeds, max_ms in CASES:
+        best_accesses = None
+        best_time = None
+        for seed in seeds:
+            machine = paper_machine(seed=seed)
+            attack = attack_cls(buffer_bytes=256 * MB, seed=seed)
+            result = attack.run(machine, max_ms=max_ms)
+            assert result.flipped, f"{label} seed {seed} did not flip"
+            if best_accesses is None or result.min_row_accesses < best_accesses:
+                best_accesses = result.min_row_accesses
+            if best_time is None or result.time_to_first_flip_ms < best_time:
+                best_time = result.time_to_first_flip_ms
+        paper_accesses, paper_time = PAPER[label]
+        rows.append([
+            label,
+            f"{best_accesses:,}",
+            f"{paper_accesses:,}",
+            f"{best_time:.1f}",
+            f"{paper_time:.1f}",
+        ])
+    return rows
+
+
+def test_table1_attack_characteristics(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    text = format_table(
+        ["Hammer Technique", "min accesses (ours)", "(paper)",
+         "ms to first flip (ours)", "(paper)"],
+        rows,
+        title="Table 1 - Rowhammer Attack Characteristics",
+    )
+    publish("table1_attacks", text)
+    # Shape assertions: ratios and ordering.
+    single, double, free = rows
+    assert int(double[1].replace(",", "")) <= 0.6 * int(single[1].replace(",", ""))
+    assert float(double[3]) < float(free[3]) < float(single[3])

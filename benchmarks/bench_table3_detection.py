@@ -1,0 +1,119 @@
+"""Table 3 — Rowhammer Detection Results.
+
+Paper (ANVIL-baseline, Table 2 parameters):
+
+    Benchmark                  Avg time to detect   Refreshes/64 ms   Flips
+    CLFLUSH      (heavy load)  12.8 ms              12.35             0
+    CLFLUSH      (light load)  12.3 ms              10.3              0
+    CLFLUSH-free (heavy load)  35.3 ms              4.53              0
+    CLFLUSH-free (light load)  22.85 ms             5.10              0
+
+Heavy load runs the attack alongside the mcf+libquantum+omnetpp trio
+(Section 4.2), whose misses share the counters and dilute the attack's
+PEBS sample share.  "Average time to detect" is, per 64 ms refresh cycle
+in which hammering occurred, the latency from cycle start to the first
+completed detection (including the selective refreshes).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.attacks import ClflushFreeAttack, DoubleSidedClflushAttack
+from repro.core import AnvilConfig, AnvilModule
+from repro.presets import paper_machine
+from repro.units import MB
+from repro.workloads import BackgroundMix
+
+from _common import anvil_table2_text, publish
+
+PAPER = {
+    ("CLFLUSH", "heavy"): (12.8, 12.35),
+    ("CLFLUSH", "light"): (12.3, 10.3),
+    ("CLFLUSH-free", "heavy"): (35.3, 4.53),
+    ("CLFLUSH-free", "light"): (22.85, 5.10),
+}
+
+CASES = (
+    ("CLFLUSH", DoubleSidedClflushAttack, "heavy", 128.0),
+    ("CLFLUSH", DoubleSidedClflushAttack, "light", 128.0),
+    ("CLFLUSH-free", ClflushFreeAttack, "heavy", 96.0),
+    ("CLFLUSH-free", ClflushFreeAttack, "light", 96.0),
+)
+
+REFRESH_CYCLE_MS = 64.0
+
+
+def average_detection_latency_ms(machine, anvil, start_cycles: int) -> float:
+    """Mean (first detection in cycle - cycle start) over refresh cycles."""
+    cycle = machine.clock.cycles_from_ms(REFRESH_CYCLE_MS)
+    first_by_cycle: dict[int, int] = {}
+    for detection in anvil.stats.detections:
+        offset = detection.time_cycles - start_cycles
+        index = offset // cycle
+        first_by_cycle.setdefault(index, offset - index * cycle)
+    if not first_by_cycle:
+        return float("nan")
+    mean_cycles = sum(first_by_cycle.values()) / len(first_by_cycle)
+    return machine.clock.ms_from_cycles(int(mean_cycles))
+
+
+def run_case(label: str, attack_cls, load: str, duration_ms: float):
+    machine = paper_machine(seed=1)
+    if load == "heavy":
+        BackgroundMix(seed=7).attach(machine)  # default co-runner scale
+    anvil = AnvilModule(machine, AnvilConfig.baseline())
+    anvil.install()
+    attack = attack_cls(buffer_bytes=256 * MB, seed=1)
+    start = machine.cycles
+    result = attack.run(machine, max_ms=duration_ms, stop_on_flip=False)
+    elapsed = machine.cycles - start
+    refreshes_per_cycle = anvil.stats.refreshes_per_interval(
+        machine.clock.cycles_from_ms(REFRESH_CYCLE_MS), elapsed
+    )
+    return {
+        "detect_ms": average_detection_latency_ms(machine, anvil, start),
+        "refreshes_per_64ms": refreshes_per_cycle,
+        "flips": result.flips,
+        "detections": anvil.stats.detection_count,
+    }
+
+
+def run_table3() -> list[list[str]]:
+    rows = []
+    for label, attack_cls, load, duration_ms in CASES:
+        data = run_case(label, attack_cls, load, duration_ms)
+        paper_detect, paper_refresh = PAPER[(label, load)]
+        rows.append([
+            f"{label} ({load} load)",
+            f"{data['detect_ms']:.1f}",
+            f"{paper_detect}",
+            f"{data['refreshes_per_64ms']:.2f}",
+            f"{paper_refresh}",
+            str(data["flips"]),
+        ])
+    return rows
+
+
+def test_table3_detection(benchmark):
+    rows = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    text = anvil_table2_text() + "\n" + format_table(
+        ["Benchmark", "avg ms to detect (ours)", "(paper)",
+         "refreshes/64ms (ours)", "(paper)", "flips"],
+        rows,
+        title="Table 3 - Rowhammer Detection Results (paper flips: 0 for all)",
+    )
+    publish("table3_detection", text)
+    for row in rows:
+        assert row[5] == "0", f"flips slipped through: {row}"
+        assert float(row[1]) < REFRESH_CYCLE_MS, "detection within a refresh cycle"
+        # Selective refreshes stay orders of magnitude below hammer rates
+        # (Section 3.3's anti-abuse property): tens per 64 ms vs the
+        # >200K accesses per 64 ms an attack needs.
+        assert float(row[3]) < 64.0
+    # Note (EXPERIMENTS.md): our detector also flags the CLFLUSH-free
+    # attack's eviction-conflict rows — they genuinely hammer their own
+    # neighbours at full rate — so unlike the paper's Table 3 the
+    # CLFLUSH-free rows can protect *more* victims per cycle; under heavy
+    # load sample dilution pushes per-window flagging back down.  The
+    # invariant that matters is zero flips with sane refresh budgets,
+    # asserted above for every row.

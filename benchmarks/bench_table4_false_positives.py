@@ -1,0 +1,60 @@
+"""Table 4 — Rate of False Positive Refreshes (SPEC2006 int, ANVIL-baseline).
+
+Paper values (superfluous selective refreshes per second):
+
+    astar 0.10   bzip2 1.05   gcc 0.71        gobmk 0.19
+    h264ref 0.00 hmmer 0.00   libquantum 0.06 mcf 0.01
+    omnetpp 0.02 perlbench 0.00  sjeng 0.00   xalancbmk 0.05
+
+Long-horizon runs use the window-level epoch model, which shares the
+stage-2 locality analyser with the kernel module (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import AnvilConfig
+from repro.sim.epoch import EpochModel
+from repro.workloads import SPEC2006_INT
+
+from _common import anvil_table2_text, publish
+
+PAPER_FP = {
+    "astar": 0.10, "bzip2": 1.05, "gcc": 0.71, "gobmk": 0.19,
+    "h264ref": 0.00, "hmmer": 0.00, "libquantum": 0.06, "mcf": 0.01,
+    "omnetpp": 0.02, "perlbench": 0.00, "sjeng": 0.00, "xalancbmk": 0.05,
+}
+
+HORIZON_S = 120.0
+
+
+def run_table4() -> list[list[str]]:
+    rows = []
+    for name, profile in SPEC2006_INT.items():
+        result = EpochModel(profile, AnvilConfig.baseline(), seed=11).run(HORIZON_S)
+        rows.append([
+            name,
+            f"{result.fp_refreshes_per_sec:.2f}",
+            f"{PAPER_FP[name]:.2f}",
+            f"{result.trigger_fraction:.0%}",
+        ])
+    return rows
+
+
+def test_table4_false_positive_refreshes(benchmark):
+    rows = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    text = anvil_table2_text() + "\n" + format_table(
+        ["Benchmark", "FP refreshes/sec (ours)", "(paper)", "stage-1 trigger"],
+        rows,
+        title="Table 4 - Rate of False Positive Refreshes",
+    )
+    publish("table4_false_positives", text)
+    measured = {row[0]: float(row[1]) for row in rows}
+    # Zero-FP benchmarks stay (near) zero...
+    for name in ("h264ref", "hmmer", "sjeng"):
+        assert measured[name] <= 0.05
+    # ...bzip2 and gcc dominate, as in the paper...
+    top_two = sorted(measured, key=measured.get)[-2:]
+    assert set(top_two) == {"bzip2", "gcc"}
+    # ...and every rate stays within the "innocuous" regime (a few/sec).
+    assert all(rate < 5.0 for rate in measured.values())

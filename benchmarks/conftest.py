@@ -1,0 +1,9 @@
+"""Make the benchmark directory importable (for ``_common``) and keep
+pytest-benchmark rounds minimal: each bench is a full experiment."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The full Section 2.2 pipeline, step by step:
+
+1. allocate a buffer and resolve its DRAM rows via /proc/pagemap;
+2. pick a double-sided hammer target (weak victim row, both aggressors
+   owned);
+3. build LLC eviction sets (same set index + slice hash) for both
+   aggressors;
+4. reverse-engineer the LLC replacement policy by correlating the miss
+   counter against policy simulators (the paper finds Bit-PLRU);
+5. plan and verify the efficient eviction pattern;
+6. run the CLFLUSH-free attack to the first bit flip.
+
+Usage:  python examples/clflush_free_pipeline.py
+"""
+
+from repro import ClflushFreeAttack, small_machine
+from repro.attacks import (
+    RowResolver,
+    build_eviction_set,
+    identify_replacement_policy,
+)
+from repro.attacks.patterns import (
+    efficient_bit_plru_pattern,
+    pattern_cost_cycles,
+    pattern_miss_profile,
+)
+from repro.units import MB
+
+BUFFER = 16 * MB
+
+
+def main() -> None:
+    machine = small_machine(threshold_min=30_000)
+    memsys = machine.memory
+
+    # Step 1-2: row resolution and target choice.
+    base = memsys.vm.mmap(BUFFER)
+    resolver = RowResolver(memsys)
+    rows = resolver.scan_buffer(base, BUFFER)
+    triple = resolver.choose_triple(resolver.templating_oracle())
+    print(f"[1] pagemap scan: {rows} distinct DRAM rows owned")
+    print(f"[2] hammer target: bank {triple.bank_key}, victim row "
+          f"{triple.victim_row} (aggressors {triple.victim_row - 1} and "
+          f"{triple.victim_row + 1})")
+
+    # Step 3: eviction sets.
+    ways = memsys.hierarchy.llc.config.ways
+    set_x = build_eviction_set(memsys, triple.aggressor_low_vaddr, base, BUFFER)
+    print(f"[3] eviction set for aggressor: {len(set_x)} conflicting "
+          f"addresses (LLC is {ways}-way)")
+
+    # Step 4: replacement-policy reverse engineering.
+    probe_addrs = [triple.aggressor_low_vaddr] + set_x
+    probe = identify_replacement_policy(machine, probe_addrs, rounds=30)
+    print(f"[4] policy probe over {probe.accesses} accesses "
+          f"(miss fraction {probe.observed_miss_fraction:.2f}):")
+    for name, score in probe.ranking():
+        marker = "  <-- best match" if name == probe.best else ""
+        print(f"      {name:<10} agreement {score:5.1%}{marker}")
+
+    # Step 5: plan the efficient pattern against the identified policy.
+    pattern = efficient_bit_plru_pattern(ways)
+    misses = pattern_miss_profile(pattern, probe.best, ways)
+    cost = pattern_cost_cycles(pattern, len(misses))
+    print(f"[5] pattern of {len(pattern)} accesses/set: steady-state "
+          f"misses {misses} -> ~{cost} cycles/iteration "
+          f"(paper estimates ~880)")
+
+    # Step 6: run the attack end to end on a fresh machine.
+    machine2 = small_machine(threshold_min=30_000)
+    attack = ClflushFreeAttack(buffer_bytes=BUFFER)
+    result = attack.run(machine2, max_ms=60)
+    print(f"[6] attack: first flip after {result.min_row_accesses} aggressor "
+          f"row accesses in {result.time_to_first_flip_ms:.1f} ms "
+          f"({result.ns_per_iteration:.0f} ns per hammer pair) — no CLFLUSH used")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Defense-comparison grid: every mitigation discussed in the paper
+against the CLFLUSH-based and CLFLUSH-free double-sided attacks.
+
+Reproduces the qualitative message of Sections 2 and 5: the deployed
+mitigations (doubled refresh, banning CLFLUSH, restricting pagemap) each
+fail against at least one attack, while ANVIL — and the proposed hardware
+schemes it competes with — stop both.
+
+Usage:  python examples/defense_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import AnvilConfig, AnvilModule, small_machine
+from repro.analysis import format_table
+from repro.attacks import ClflushFreeAttack, DoubleSidedClflushAttack
+from repro.defenses import Armor, Para, TargetedRowRefresh
+from repro.errors import ClflushRestrictedError, PagemapRestrictedError
+from repro.units import MB
+
+THRESHOLD = 30_000
+BUF = 16 * MB
+MAX_MS = 25
+
+DEMO_ANVIL = AnvilConfig(
+    llc_miss_threshold=3_300, tc_ms=1.0, ts_ms=1.0,
+    sampling_rate_hz=50_000, assumed_flip_accesses=30_000,
+)
+
+
+def run_case(defense_name: str, attack_cls) -> str:
+    machine_kwargs = {"threshold_min": THRESHOLD}
+    defense = None
+    anvil = None
+    if defense_name == "none":
+        pass
+    elif defense_name == "double refresh":
+        machine_kwargs["refresh_scale"] = 2.0
+    elif defense_name == "CLFLUSH ban":
+        machine_kwargs["clflush_allowed"] = False
+    elif defense_name == "pagemap restricted":
+        machine_kwargs["pagemap_restricted"] = True
+    elif defense_name == "PARA":
+        defense = Para(probability=0.002)
+    elif defense_name == "TRR":
+        defense = TargetedRowRefresh(activation_threshold=1_000)
+    elif defense_name == "ARMOR":
+        defense = Armor(hot_threshold=1_000)
+
+    machine = small_machine(**machine_kwargs)
+    if defense is not None:
+        defense.install(machine)
+    if defense_name == "ANVIL":
+        anvil = AnvilModule(machine, DEMO_ANVIL)
+        anvil.install()
+
+    attack = attack_cls(buffer_bytes=BUF)
+    try:
+        result = attack.run(machine, max_ms=MAX_MS, stop_on_flip=(anvil is None))
+    except ClflushRestrictedError:
+        return "blocked (SIGILL)"
+    except PagemapRestrictedError:
+        return "blocked (EPERM)"
+    if result.flips:
+        return f"FLIPS in {result.time_to_first_flip_ms:.1f} ms"
+    if anvil is not None and anvil.stats.detection_count:
+        return f"protected ({anvil.stats.detection_count} detections)"
+    return "no flips"
+
+
+def main() -> None:
+    defenses = [
+        "none", "double refresh", "CLFLUSH ban", "pagemap restricted",
+        "PARA", "TRR", "ARMOR", "ANVIL",
+    ]
+    attacks = [
+        ("CLFLUSH double-sided", DoubleSidedClflushAttack),
+        ("CLFLUSH-free double-sided", ClflushFreeAttack),
+    ]
+    rows = []
+    for defense_name in defenses:
+        row = [defense_name]
+        for _, attack_cls in attacks:
+            row.append(run_case(defense_name, attack_cls))
+        rows.append(row)
+    print(format_table(
+        ["defense"] + [name for name, _ in attacks],
+        rows,
+        title="Defense comparison (scaled demo machine; weak cells at "
+              f"{THRESHOLD} disturbance units)",
+    ))
+    print(
+        "\nReading: the deployed software mitigations each fail against at"
+        "\nleast one attack (Sections 2.1-2.3); the hardware proposals and"
+        "\nANVIL stop both, but only ANVIL deploys on existing machines."
+        "\n(Pagemap restriction blocks these *implementations*, which use it"
+        "\nfor targeting; Section 5.2.1 notes timing side channels and random"
+        "\ntargeting still get through — see find_eviction_set_by_timing.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

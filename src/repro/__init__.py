@@ -1,0 +1,44 @@
+"""repro: a full reproduction of ANVIL (Aweke et al., ASPLOS 2016) --
+software-based protection against next-generation rowhammer attacks -- on a
+simulated Sandy Bridge-class machine.
+
+Quick start::
+
+    from repro import paper_machine, AnvilModule, ClflushFreeAttack
+
+    machine = paper_machine()
+    anvil = AnvilModule(machine)
+    anvil.install()
+    attack = ClflushFreeAttack()
+    result = attack.run(machine, max_ms=100, stop_on_flip=False)
+    print(result.flips, anvil.report())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .core import AnvilConfig, AnvilModule
+from .attacks import (
+    AttackResult,
+    ClflushFreeAttack,
+    DoubleSidedClflushAttack,
+    SingleSidedClflushAttack,
+)
+from .presets import paper_machine, small_machine
+from .sim import Machine, MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnvilConfig",
+    "AnvilModule",
+    "AttackResult",
+    "ClflushFreeAttack",
+    "DoubleSidedClflushAttack",
+    "Machine",
+    "MachineConfig",
+    "SingleSidedClflushAttack",
+    "__version__",
+    "paper_machine",
+    "small_machine",
+]

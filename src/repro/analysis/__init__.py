@@ -1,0 +1,12 @@
+"""Result analysis and paper-style presentation helpers."""
+
+from .metrics import geomean, normalized_times_summary, percent
+from .tables import format_figure_series, format_table
+
+__all__ = [
+    "format_figure_series",
+    "format_table",
+    "geomean",
+    "normalized_times_summary",
+    "percent",
+]

@@ -1,0 +1,34 @@
+"""Aggregate metrics used by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional SPEC aggregate)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def normalized_times_summary(times: dict[str, float]) -> dict[str, float]:
+    """Average/peak slowdown summary for a set of normalized exec times
+    (the quantities quoted in the abstract: 'average slowdown of 1%',
+    'worst-case slowdown of 3.2%')."""
+    slowdowns = {name: t - 1.0 for name, t in times.items()}
+    peak_name = max(slowdowns, key=lambda n: slowdowns[n])
+    return {
+        "average_slowdown": sum(slowdowns.values()) / len(slowdowns),
+        "geomean_time": geomean(list(times.values())),
+        "peak_slowdown": slowdowns[peak_name],
+    }

@@ -1,0 +1,73 @@
+"""ASCII rendering of paper-style tables and figure series.
+
+The benchmark harness prints every reproduced table/figure next to the
+paper's reported values so EXPERIMENTS.md can be assembled by eye.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A boxed, column-aligned ASCII table."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(rule)
+    out.append(line(list(headers)))
+    out.append(rule)
+    out.extend(line(r) for r in text_rows)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def format_figure_series(
+    title: str,
+    series: dict[str, dict[str, float]],
+    value_format: str = "{:.4f}",
+    bar_scale: tuple[float, float] | None = None,
+    bar_width: int = 40,
+) -> str:
+    """Render figure data as labelled values with optional ASCII bars.
+
+    ``series`` maps series name -> {category -> value} (e.g. "ANVIL" ->
+    {"mcf": 1.021, ...}).  When ``bar_scale=(lo, hi)`` is given, each value
+    also gets a proportional bar, which makes the figure's shape visible
+    in terminal output.
+    """
+    categories: list[str] = []
+    for values in series.values():
+        for cat in values:
+            if cat not in categories:
+                categories.append(cat)
+    out = [title]
+    for name, values in series.items():
+        out.append(f"  [{name}]")
+        for cat in categories:
+            if cat not in values:
+                continue
+            value = values[cat]
+            text = value_format.format(value)
+            if bar_scale is not None:
+                lo, hi = bar_scale
+                frac = 0.0 if hi <= lo else min(1.0, max(0.0, (value - lo) / (hi - lo)))
+                bar = "#" * int(round(frac * bar_width))
+                out.append(f"    {cat:<12} {text:>9} |{bar}")
+            else:
+                out.append(f"    {cat:<12} {text:>9}")
+    return "\n".join(out)

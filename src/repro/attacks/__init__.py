@@ -1,0 +1,45 @@
+"""Rowhammer attacks (paper Section 2).
+
+Three attacks, matching Table 1:
+
+- :class:`~repro.attacks.clflush.SingleSidedClflushAttack` — hammer one
+  aggressor row (plus a row-buffer-toggling dummy), flushing with CLFLUSH;
+- :class:`~repro.attacks.clflush.DoubleSidedClflushAttack` — hammer both
+  rows adjacent to a victim, flushing with CLFLUSH;
+- :class:`~repro.attacks.clflush_free.ClflushFreeAttack` — the paper's
+  novel double-sided attack that evicts the aggressors by steering the
+  LLC's Bit-PLRU replacement state instead of flushing.
+
+Support machinery: row targeting via ``/proc/pagemap``
+(:mod:`~repro.attacks.targeting`), eviction-set construction
+(:mod:`~repro.attacks.eviction`), eviction-pattern planning
+(:mod:`~repro.attacks.patterns`), and the replacement-policy
+reverse-engineering probe (:mod:`~repro.attacks.policy_probe`).
+"""
+
+from .base import AttackResult, RowhammerAttack
+from .blind import BlindPairHammerAttack
+from .clflush import DoubleSidedClflushAttack, SingleSidedClflushAttack
+from .clflush_free import ClflushFreeAttack
+from .eviction import build_eviction_set, verify_eviction_set
+from .patterns import efficient_bit_plru_pattern, pattern_miss_profile, search_pattern
+from .policy_probe import ProbeResult, identify_replacement_policy
+from .targeting import HammerTriple, RowResolver
+
+__all__ = [
+    "AttackResult",
+    "BlindPairHammerAttack",
+    "ClflushFreeAttack",
+    "DoubleSidedClflushAttack",
+    "HammerTriple",
+    "ProbeResult",
+    "RowResolver",
+    "RowhammerAttack",
+    "SingleSidedClflushAttack",
+    "build_eviction_set",
+    "efficient_bit_plru_pattern",
+    "identify_replacement_policy",
+    "pattern_miss_profile",
+    "search_pattern",
+    "verify_eviction_set",
+]

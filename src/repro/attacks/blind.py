@@ -1,0 +1,127 @@
+"""Blind rowhammering: no pagemap, no templating (paper Section 5.2.1).
+
+After the pagemap interface was restricted, the paper observes that
+"certain attacks such as the NaCl sandbox escape attack can be
+implemented by repeatedly picking two random addresses without having any
+knowledge of the physical address mapping".  This attack does exactly
+that: it rotates through random address pairs, hammering each pair
+CLFLUSH-free for a slice of time.  A pair whose addresses share a bank
+hammers the rows adjacent to both addresses (single-sided disturbance on
+each); with B banks, roughly one pair in B lands in the same bank, so
+persistence substitutes for knowledge.
+
+Eviction sets are built with pagemap when it is available, and recovered
+purely from reload timing (:func:`~repro.attacks.eviction
+.find_eviction_set_by_timing`) when the kernel mitigation is active —
+either way the hammering loop itself never needs a physical address.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import PagemapRestrictedError
+from ..sim.machine import Machine
+from ..sim.ops import Op, compute, pair_load
+from .base import RowhammerAttack
+from .eviction import build_eviction_set, find_eviction_set_by_timing
+from .patterns import AGGRESSOR, efficient_bit_plru_pattern
+
+
+class BlindPairHammerAttack(RowhammerAttack):
+    """Hammer randomly chosen address pairs, rotating periodically."""
+
+    name = "blind-pair-hammer"
+    accesses_per_unit = 1.0
+
+    def __init__(
+        self,
+        pairs: int = 8,
+        pair_ms: float = 2.0,
+        pattern: list[int] | None = None,
+        timing_pool_pages: int = 2048,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.pairs = pairs
+        self.pair_ms = pair_ms
+        self.pattern = pattern
+        self.timing_pool_pages = timing_pool_pages
+        self._machine: Machine | None = None
+        self._targets: list[tuple[int, list[int], int, list[int]]] = []
+        self._slice_iterations = 0
+
+    # -- preparation -------------------------------------------------------------
+
+    def _eviction_set(self, machine: Machine, target: int, base: int) -> list[int]:
+        memsys = machine.memory
+        try:
+            return build_eviction_set(memsys, target, base, self.buffer_bytes)
+        except PagemapRestrictedError:
+            return find_eviction_set_by_timing(
+                machine, target, base, self.buffer_bytes,
+                max_candidates=self.timing_pool_pages,
+                seed=self.seed ^ target,
+            )
+
+    def _build(self, machine: Machine) -> None:
+        self._machine = machine
+        memsys = machine.memory
+        base = memsys.vm.mmap(self.buffer_bytes)
+        rng = random.Random(self.seed ^ 0xB11D)
+        page = memsys.vm.config.page_bytes
+        n_pages = self.buffer_bytes // page
+        ways = memsys.hierarchy.llc.config.ways
+        if self.pattern is None:
+            self.pattern = efficient_bit_plru_pattern(ways)
+        for _ in range(self.pairs):
+            va = base + rng.randrange(n_pages) * page
+            vb = base + rng.randrange(n_pages) * page
+            if va == vb:
+                continue
+            self._targets.append(
+                (va, self._eviction_set(machine, va, base),
+                 vb, self._eviction_set(machine, vb, base))
+            )
+        # Iterations to spend on each pair before rotating: pair_ms at the
+        # nominal ~880-cycle iteration.
+        cycles = machine.clock.cycles_from_ms(self.pair_ms)
+        self._slice_iterations = max(1, cycles // 900)
+
+    # -- hammering ----------------------------------------------------------------
+
+    def _pair_iteration(self, target) -> list[Op]:
+        va, set_x, vb, set_y = target
+        return [
+            pair_load(
+                va if symbol == AGGRESSOR else set_x[symbol],
+                vb if symbol == AGGRESSOR else set_y[symbol],
+            )
+            for symbol in self.pattern
+        ]
+
+    def iteration_ops(self) -> list[Op]:
+        """One full rotation: every pair hammered for its time slice."""
+        ops: list[Op] = []
+        for target in self._targets:
+            iteration = self._pair_iteration(target)
+            for _ in range(self._slice_iterations):
+                ops.extend(iteration)
+            ops.append(compute(200))  # pair switch: new pointers, warmup
+        return ops
+
+    def pair_count(self) -> int:
+        return len(self._targets)
+
+    def same_bank_pairs(self) -> int:
+        """Ground-truth diagnostic: how many chosen pairs share a bank."""
+        if self._machine is None:
+            return 0
+        memsys = self._machine.memory
+        count = 0
+        for va, _, vb, _ in self._targets:
+            a = memsys.row_of_vaddr(va)
+            b = memsys.row_of_vaddr(vb)
+            if a.bank_key == b.bank_key and a.row != b.row:
+                count += 1
+        return count

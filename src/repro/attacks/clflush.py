@@ -1,0 +1,124 @@
+"""CLFLUSH-based rowhammer attacks (paper Section 2.1, Figure 1a).
+
+Both attacks flush the aggressor lines after each access "thereby ensuring
+the next access goes directly to the DRAM".  The double-sided variant
+hammers the two rows adjacent to a victim; the single-sided variant
+hammers one aggressor plus a far "dummy" row in the same bank, whose only
+role is to close the aggressor's row buffer.
+
+Per-iteration compute overheads are calibration constants representing the
+attack loop's non-memory work on the paper's 2.6 GHz testbed (address
+arithmetic and branches for the double-sided loop; random row selection
+and fencing for the original single-sided test program, which is why
+Table 1 shows it hammering markedly slower per access).
+"""
+
+from __future__ import annotations
+
+from ..dram import DramCoord
+from ..sim.machine import Machine
+from ..sim.ops import Op, clflush, compute, load, mfence, store
+from .base import RowhammerAttack
+from .targeting import RowResolver
+
+
+class DoubleSidedClflushAttack(RowhammerAttack):
+    """Figure 1(a): load both aggressors, CLFLUSH both, repeat.
+
+    ``store_based=True`` hammers with stores instead of loads — residency
+    and disturbance behaviour are identical, but the PMU sees store misses,
+    exercising ANVIL's Precise Store facility selection (Section 3.3).
+    """
+
+    name = "double-sided-clflush"
+    accesses_per_unit = 1.0  # every counted access disturbs the victim
+
+    def __init__(self, loop_overhead_cycles: int = 36, store_based: bool = False,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.loop_overhead_cycles = loop_overhead_cycles
+        self.store_based = store_based
+        if store_based:
+            self.name = "double-sided-clflush-stores"
+        self._a0 = 0
+        self._a1 = 0
+
+    def _build(self, machine: Machine) -> None:
+        memsys = machine.memory
+        base = memsys.vm.mmap(self.buffer_bytes)
+        resolver = RowResolver(memsys)
+        resolver.scan_buffer(base, self.buffer_bytes)
+        score = resolver.templating_oracle() if self.use_templating_oracle else None
+        triple = resolver.choose_triple(score)
+        self._a0 = triple.aggressor_low_vaddr
+        self._a1 = triple.aggressor_high_vaddr
+        rank, bank = triple.bank_key
+        self._aggressors = [
+            DramCoord(rank, bank, triple.victim_row - 1, 0),
+            DramCoord(rank, bank, triple.victim_row + 1, 0),
+        ]
+        self._victims = [DramCoord(rank, bank, triple.victim_row, 0)]
+
+    def iteration_ops(self) -> list[Op]:
+        op = store if self.store_based else load
+        return [
+            op(self._a0),
+            op(self._a1),
+            clflush(self._a0),
+            clflush(self._a1),
+            compute(self.loop_overhead_cycles),
+        ]
+
+
+class SingleSidedClflushAttack(RowhammerAttack):
+    """Classic single-sided hammering in the style of the original
+    rowhammer-test program (paper citation [2]).
+
+    Only the aggressor is adjacent to the victim; the dummy row is far
+    away and merely forces the bank's row buffer closed, so half of the
+    counted DRAM row accesses contribute no disturbance to the victim —
+    hence Table 1's roughly doubled access count relative to double-sided.
+    """
+
+    name = "single-sided-clflush"
+    accesses_per_unit = 2.0  # dummy-row accesses count but do not disturb
+
+    def __init__(
+        self, loop_overhead_cycles: int = 290, dummy_distance_rows: int = 64, **kwargs
+    ) -> None:
+        super().__init__(**kwargs)
+        self.loop_overhead_cycles = loop_overhead_cycles
+        self.dummy_distance_rows = dummy_distance_rows
+        self._aggressor = 0
+        self._dummy = 0
+
+    def _build(self, machine: Machine) -> None:
+        memsys = machine.memory
+        base = memsys.vm.mmap(self.buffer_bytes)
+        resolver = RowResolver(memsys)
+        resolver.scan_buffer(base, self.buffer_bytes)
+        score = resolver.templating_oracle() if self.use_templating_oracle else None
+        triple = resolver.choose_triple(score)
+        self._aggressor = triple.aggressor_low_vaddr
+        self._dummy = resolver.far_row_vaddr(
+            triple.bank_key, triple.victim_row, self.dummy_distance_rows
+        )
+        rank, bank = triple.bank_key
+        aggressor_row = triple.victim_row - 1
+        self._aggressors = [DramCoord(rank, bank, aggressor_row, 0)]
+        # Both neighbours of the aggressor are potential victims; the
+        # chosen weak row is the one Table 1's threshold refers to.
+        self._victims = [
+            DramCoord(rank, bank, aggressor_row - 1, 0),
+            DramCoord(rank, bank, triple.victim_row, 0),
+        ]
+
+    def iteration_ops(self) -> list[Op]:
+        return [
+            load(self._aggressor),
+            load(self._dummy),
+            clflush(self._aggressor),
+            clflush(self._dummy),
+            mfence(),
+            compute(self.loop_overhead_cycles),
+        ]

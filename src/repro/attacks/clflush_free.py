@@ -1,0 +1,100 @@
+"""The CLFLUSH-free double-sided rowhammer attack (Section 2.2, Figure 1b).
+
+This is the paper's headline attack: no cache-flush instruction, so it
+works inside sandboxes that ban CLFLUSH.  Instead of flushing, it evicts
+the aggressor lines by steering the LLC's Bit-PLRU replacement state with
+a carefully ordered eviction-set access pattern, so that each iteration
+misses on exactly the aggressor plus one sacrificial conflict address per
+set.
+
+The two aggressors live in different LLC sets (Set X and Set Y); their
+patterns are interleaved as paired loads, since the sets are independent
+and the loads overlap in the out-of-order window — this is what makes the
+paper's 338 ns/iteration (~190K hammer pairs per 64 ms refresh period)
+achievable.
+
+Preparation follows Section 2.3: translate the attack buffer with
+``/proc/pagemap``, pick aggressor rows adjacent to a weak victim, and
+collect 12 conflicting addresses (same LLC set index and slice hash) per
+aggressor.
+"""
+
+from __future__ import annotations
+
+from ..dram import DramCoord
+from ..sim.machine import Machine
+from ..sim.ops import Op, compute, pair_load
+from .base import RowhammerAttack
+from .eviction import build_eviction_set
+from .patterns import AGGRESSOR, efficient_bit_plru_pattern
+from .targeting import RowResolver
+
+
+class ClflushFreeAttack(RowhammerAttack):
+    """Double-sided rowhammer via Bit-PLRU eviction-set steering."""
+
+    name = "double-sided-clflush-free"
+    accesses_per_unit = 1.0  # Table 1 counts aggressor-row accesses
+
+    def __init__(
+        self,
+        pattern: list[int] | None = None,
+        loop_overhead_cycles: int = 0,
+        privileged_pagemap: bool = False,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.pattern = pattern
+        self.loop_overhead_cycles = loop_overhead_cycles
+        self.privileged_pagemap = privileged_pagemap
+        self._set_x: list[int] = []  # [A0] eviction set addresses
+        self._set_y: list[int] = []
+        self._a0 = 0
+        self._a1 = 0
+
+    def _build(self, machine: Machine) -> None:
+        memsys = machine.memory
+        ways = memsys.hierarchy.llc.config.ways
+        if self.pattern is None:
+            self.pattern = efficient_bit_plru_pattern(ways)
+        base = memsys.vm.mmap(self.buffer_bytes)
+        resolver = RowResolver(memsys, privileged=self.privileged_pagemap)
+        resolver.scan_buffer(base, self.buffer_bytes)
+        score = resolver.templating_oracle() if self.use_templating_oracle else None
+        triple = resolver.choose_triple(score)
+        self._a0 = triple.aggressor_low_vaddr
+        self._a1 = triple.aggressor_high_vaddr
+        self._set_x = build_eviction_set(
+            memsys, self._a0, base, self.buffer_bytes, size=ways,
+            privileged=self.privileged_pagemap,
+        )
+        self._set_y = build_eviction_set(
+            memsys, self._a1, base, self.buffer_bytes, size=ways,
+            privileged=self.privileged_pagemap,
+        )
+        rank, bank = triple.bank_key
+        self._aggressors = [
+            DramCoord(rank, bank, triple.victim_row - 1, 0),
+            DramCoord(rank, bank, triple.victim_row + 1, 0),
+        ]
+        self._victims = [DramCoord(rank, bank, triple.victim_row, 0)]
+
+    def _resolve(self, symbol: int, aggressor: int, eset: list[int]) -> int:
+        return aggressor if symbol == AGGRESSOR else eset[symbol]
+
+    def iteration_ops(self) -> list[Op]:
+        ops: list[Op] = [
+            pair_load(
+                self._resolve(symbol, self._a0, self._set_x),
+                self._resolve(symbol, self._a1, self._set_y),
+            )
+            for symbol in self.pattern
+        ]
+        if self.loop_overhead_cycles:
+            ops.append(compute(self.loop_overhead_cycles))
+        return ops
+
+    @property
+    def eviction_sets(self) -> tuple[list[int], list[int]]:
+        """The two eviction sets (diagnostics and the Figure 1 example)."""
+        return list(self._set_x), list(self._set_y)

@@ -1,0 +1,98 @@
+"""Replacement-policy reverse engineering (paper Section 2.2).
+
+"We did this by generating a high miss-rate pattern that cyclically
+accesses the 13 addresses in the eviction set, and using performance
+counters (particularly the last-level cache miss counter) to determine
+whether each access was a cache hit or a cache miss.  Then we correlate
+the performance counter results with results from different cache
+replacement policy simulators that we built."
+
+:func:`identify_replacement_policy` runs exactly that experiment against a
+simulated machine: drive a probe sequence through the real hierarchy,
+classify each access via the LLC miss counter delta, replay the same
+symbolic sequence through every candidate :class:`~repro.cache.setmodel
+.SetModel`, and rank candidates by agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache.replacement import policy_names
+from ..cache.setmodel import SetModel
+from ..errors import ConfigError
+from ..pmu import Event
+from ..sim.machine import Machine
+from ..sim.ops import load
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Ranked correlation of candidate policies with observed misses."""
+
+    scores: dict[str, float]  # policy name -> agreement fraction
+    best: str
+    observed_miss_fraction: float
+    accesses: int
+
+    def ranking(self) -> list[tuple[str, float]]:
+        return sorted(self.scores.items(), key=lambda kv: -kv[1])
+
+
+def probe_sequence(n_addresses: int, rounds: int) -> list[int]:
+    """The paper's probe: cyclic sweeps over the eviction set."""
+    return list(range(n_addresses)) * rounds
+
+
+def identify_replacement_policy(
+    machine: Machine,
+    addresses: list[int],
+    rounds: int = 40,
+    warmup_rounds: int = 4,
+    candidates: list[str] | None = None,
+) -> ProbeResult:
+    """Identify the LLC replacement policy behind ``machine``.
+
+    ``addresses`` must be an eviction set plus the target — i.e. more
+    same-set addresses than the LLC has ways (13 for a 12-way cache) so
+    the cyclic sweep forces evictions whose pattern fingerprints the
+    policy.
+    """
+    if candidates is None:
+        candidates = policy_names()
+    ways = machine.memory.hierarchy.llc.config.ways
+    if len(addresses) <= ways:
+        raise ConfigError(
+            f"need more than {ways} same-set addresses to force evictions, "
+            f"got {len(addresses)}"
+        )
+    sequence = probe_sequence(len(addresses), rounds)
+    skip = warmup_rounds * len(addresses)
+
+    # -- observe the real machine through the miss counter --------------------
+    counter = machine.pmu.counter(Event.LONGEST_LAT_CACHE_MISS)
+    observed: list[bool] = []
+    for index in sequence:
+        before = counter.read()
+        machine.execute(load(addresses[index]))
+        observed.append(counter.read() > before)
+    observed_tail = observed[skip:]
+
+    # -- replay through each candidate policy simulator ------------------------
+    scores: dict[str, float] = {}
+    for name in candidates:
+        try:
+            model = SetModel(name, ways)
+        except ConfigError:
+            continue  # e.g. tree-plru with non-power-of-two ways
+        predicted = [not model.access(index) for index in sequence][skip:]
+        agree = sum(o == p for o, p in zip(observed_tail, predicted))
+        scores[name] = agree / len(observed_tail)
+
+    best = max(scores, key=lambda n: scores[n])
+    return ProbeResult(
+        scores=scores,
+        best=best,
+        observed_miss_fraction=sum(observed_tail) / len(observed_tail),
+        accesses=len(sequence),
+    )

@@ -1,0 +1,42 @@
+"""Cache substrate: replacement policies, set-associative caches, and the
+three-level Sandy Bridge-class hierarchy used by the attacks and by ANVIL.
+
+Public entry points:
+
+- :func:`repro.cache.replacement.make_policy` — construct a replacement
+  policy by name (``"lru"``, ``"bit-plru"``, ``"nru"``, ``"tree-plru"``,
+  ``"random"``, ``"srrip"``).
+- :class:`repro.cache.cache.Cache` — one set-associative cache level.
+- :class:`repro.cache.hierarchy.CacheHierarchy` — inclusive L1/L2/LLC stack
+  with CLFLUSH support and slice-hashed LLC.
+"""
+
+from .config import CacheConfig, HierarchyConfig
+from .cache import Cache
+from .hierarchy import CacheHierarchy, HierarchyResult
+from .replacement import (
+    BitPlru,
+    Nru,
+    RandomReplacement,
+    ReplacementPolicy,
+    Srrip,
+    TreePlru,
+    TrueLru,
+    make_policy,
+)
+
+__all__ = [
+    "BitPlru",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "HierarchyResult",
+    "Nru",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "Srrip",
+    "TreePlru",
+    "TrueLru",
+    "make_policy",
+]

@@ -1,0 +1,212 @@
+"""A single set-associative, physically indexed cache level.
+
+The cache tracks tags only — data movement is modelled elsewhere (the DRAM
+device holds contents).  Lines are identified by their *line address*
+(physical address >> line_bits).  The cache is write-allocate,
+write-back-agnostic: stores and loads are treated identically for residency
+purposes, which is all that cache-timing attacks and the PMU observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import CacheConfig
+from .replacement import ReplacementPolicy, make_policy
+from .slicing import slice_of
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss/eviction counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class _CacheSet:
+    """One set: parallel arrays of tags plus a replacement-policy instance."""
+
+    __slots__ = ("tags", "policy", "lookup")
+
+    def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
+        self.tags: list[int | None] = [None] * ways
+        self.policy = policy
+        self.lookup: dict[int, int] = {}  # tag -> way
+
+
+@dataclass
+class FillResult:
+    """Outcome of installing a line: the evicted line address, if any."""
+
+    evicted_line: int | None = None
+
+
+class Cache:
+    """A set-associative cache level, possibly sliced (for the LLC)."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._line_bits = config.line_bits
+        self._set_mask = config.sets_per_slice - 1
+        self._n_slices = config.slices
+        # Slice hashing is the expensive part of indexing; memoise the
+        # global set index per line address (sliced caches only).
+        self._index_memo: dict[int, int] = {}
+        self._sets: list[_CacheSet] = [
+            _CacheSet(
+                config.ways,
+                make_policy(config.policy, config.ways, seed=config.policy_seed + i),
+            )
+            for i in range(config.sets_per_slice * config.slices)
+        ]
+
+    # -- address arithmetic -------------------------------------------------
+
+    def line_addr(self, paddr: int) -> int:
+        return paddr >> self._line_bits
+
+    def set_index(self, paddr: int) -> int:
+        """Global set index (slice-local index + slice offset)."""
+        line = paddr >> self._line_bits
+        if self._n_slices == 1:
+            return line & self._set_mask
+        index = self._index_memo.get(line)
+        if index is None:
+            s = slice_of(paddr, self._n_slices)
+            index = s * (self._set_mask + 1) + (line & self._set_mask)
+            self._index_memo[line] = index
+        return index
+
+    def slice_index(self, paddr: int) -> int:
+        return slice_of(paddr, self._n_slices)
+
+    def same_set(self, paddr_a: int, paddr_b: int) -> bool:
+        """True if the two physical addresses contend for the same set
+        (including the slice hash)."""
+        return self.set_index(paddr_a) == self.set_index(paddr_b)
+
+    # -- core operations ----------------------------------------------------
+
+    def probe(self, paddr: int) -> bool:
+        """Non-destructive residency check (no replacement-state update)."""
+        cset = self._sets[self.set_index(paddr)]
+        return self.line_addr(paddr) in cset.lookup
+
+    def access(self, paddr: int) -> bool:
+        """Look up ``paddr``; on a hit update replacement state and return
+        True.  On a miss return False *without* filling — the hierarchy
+        decides when and where to fill."""
+        cset = self._sets[self.set_index(paddr)]
+        way = cset.lookup.get(self.line_addr(paddr))
+        if way is not None:
+            cset.policy.on_hit(way)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, paddr: int) -> FillResult:
+        """Install the line for ``paddr``, evicting if the set is full.
+
+        Returns the evicted *line address* (if any) so inclusive
+        hierarchies can back-invalidate inner levels.
+        """
+        cset = self._sets[self.set_index(paddr)]
+        line = self.line_addr(paddr)
+        if line in cset.lookup:
+            # Already present (e.g. racing fill): treat as a touch.
+            cset.policy.on_hit(cset.lookup[line])
+            return FillResult()
+        if len(cset.lookup) < len(cset.tags):
+            # Prefer an invalid way.
+            for way, tag in enumerate(cset.tags):
+                if tag is None:
+                    cset.tags[way] = line
+                    cset.lookup[line] = way
+                    cset.policy.on_fill(way)
+                    return FillResult()
+        way = cset.policy.victim()
+        evicted = cset.tags[way]
+        if evicted is not None:
+            del cset.lookup[evicted]
+            self.stats.evictions += 1
+        cset.tags[way] = line
+        cset.lookup[line] = way
+        cset.policy.on_fill(way)
+        return FillResult(evicted_line=evicted)
+
+    def access_fill(self, paddr: int) -> tuple[bool, int | None]:
+        """Fused lookup-and-fill for the hierarchy's hot path.
+
+        Returns ``(hit, evicted_line)``: on a hit, replacement state is
+        updated and nothing is filled; on a miss, the line is installed
+        (write-allocate) and the evicted line address (if any) returned.
+        Equivalent to ``access()`` followed by ``fill()`` but with a
+        single set lookup.
+        """
+        cset = self._sets[self.set_index(paddr)]
+        line = paddr >> self._line_bits
+        lookup = cset.lookup
+        way = lookup.get(line)
+        if way is not None:
+            cset.policy.on_hit(way)
+            self.stats.hits += 1
+            return True, None
+        self.stats.misses += 1
+        tags = cset.tags
+        evicted = None
+        if len(lookup) < len(tags):
+            way = tags.index(None)
+        else:
+            way = cset.policy.victim()
+            evicted = tags[way]
+            del lookup[evicted]
+            self.stats.evictions += 1
+        tags[way] = line
+        lookup[line] = way
+        cset.policy.on_fill(way)
+        return False, evicted
+
+    def invalidate(self, paddr: int) -> bool:
+        """Remove the line for ``paddr`` if present.  Returns True if it
+        was resident (CLFLUSH, back-invalidation)."""
+        cset = self._sets[self.set_index(paddr)]
+        line = self.line_addr(paddr)
+        way = cset.lookup.pop(line, None)
+        if way is None:
+            return False
+        cset.tags[way] = None
+        cset.policy.on_invalidate(way)
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_line(self, line: int) -> bool:
+        """Invalidate by line address (used for back-invalidation)."""
+        return self.invalidate(line << self._line_bits)
+
+    def flush_all(self) -> None:
+        """Drop every line (used between experiment phases)."""
+        config = self.config
+        self._sets = [
+            _CacheSet(
+                config.ways,
+                make_policy(config.policy, config.ways, seed=config.policy_seed + i),
+            )
+            for i in range(config.sets_per_slice * config.slices)
+        ]
+
+    def resident_lines(self) -> list[int]:
+        """All line addresses currently cached (diagnostics/tests)."""
+        return [tag for cset in self._sets for tag in cset.tags if tag is not None]

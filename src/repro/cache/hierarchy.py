@@ -1,0 +1,110 @@
+"""The inclusive three-level cache hierarchy.
+
+Key behaviours the attacks and ANVIL rely on:
+
+- **Inclusive LLC** (paper Section 2.2): "it is enough to evict a word from
+  the last-level cache to bypass the whole cache hierarchy", so an LLC
+  eviction back-invalidates the same line from L1 and L2.
+- **CLFLUSH** removes a line from every level.
+- Latencies are *cumulative load-to-use* values per serving level (L1 hit
+  4, L2 hit 12, LLC hit 29 cycles by default), matching the Intel manual
+  numbers the paper quotes; an LLC miss costs the LLC lookup plus a small
+  controller overhead here, and the memory system adds the DRAM device
+  time on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import Cache
+from .config import HierarchyConfig
+
+#: Symbolic names for where an access was served from.
+L1, L2, L3, DRAM = "L1", "L2", "L3", "DRAM"
+
+
+@dataclass(slots=True)
+class HierarchyResult:
+    """Outcome of one load/store walking the hierarchy.
+
+    ``latency_cycles`` covers the cache portion only; if ``llc_miss`` the
+    memory system adds DRAM latency on top.
+    """
+
+    level: str
+    latency_cycles: int
+    llc_miss: bool
+    llc_evicted_line: int | None = None
+
+
+class CacheHierarchy:
+    """L1 → L2 → inclusive LLC, physically indexed throughout."""
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config or HierarchyConfig()
+        self.l1 = Cache(self.config.l1)
+        self.l2 = Cache(self.config.l2)
+        self.llc = Cache(self.config.llc)
+
+    def access(self, paddr: int, is_store: bool = False) -> HierarchyResult:
+        """Perform a load or store at physical address ``paddr``.
+
+        Stores are treated as write-allocate, so residency behaviour is
+        identical to loads; ``is_store`` is kept in the signature because
+        the PMU facade distinguishes load and store events.
+        """
+        del is_store  # residency behaviour is identical
+        hit, _ = self.l1.access_fill(paddr)
+        if hit:
+            return HierarchyResult(
+                level=L1, latency_cycles=self.config.l1.latency_cycles, llc_miss=False
+            )
+
+        # The L1 miss already installed the line there (write-allocate);
+        # the same applies at each level below.
+        hit, _ = self.l2.access_fill(paddr)
+        if hit:
+            return HierarchyResult(
+                level=L2, latency_cycles=self.config.l2.latency_cycles, llc_miss=False
+            )
+
+        hit, evicted_line = self.llc.access_fill(paddr)
+        if hit:
+            return HierarchyResult(
+                level=L3, latency_cycles=self.config.llc.latency_cycles, llc_miss=False
+            )
+
+        # LLC miss: enforce inclusion on the LLC eviction.
+        if evicted_line is not None:
+            self.l2.invalidate_line(evicted_line)
+            self.l1.invalidate_line(evicted_line)
+        return HierarchyResult(
+            level=DRAM,
+            latency_cycles=(
+                self.config.llc.latency_cycles + self.config.miss_overhead_cycles
+            ),
+            llc_miss=True,
+            llc_evicted_line=evicted_line,
+        )
+
+    def clflush(self, paddr: int) -> int:
+        """Flush the line at ``paddr`` from all levels.
+
+        Returns the instruction cost in cycles.  Whether CLFLUSH is
+        *permitted* is the memory system's concern (sandbox policy).
+        """
+        self.l1.invalidate(paddr)
+        self.l2.invalidate(paddr)
+        self.llc.invalidate(paddr)
+        return self.config.clflush_cycles
+
+    def is_cached(self, paddr: int) -> bool:
+        """True if the line is resident anywhere in the hierarchy."""
+        return self.llc.probe(paddr) or self.l2.probe(paddr) or self.l1.probe(paddr)
+
+    def flush_all(self) -> None:
+        """Empty all levels (cold-start an experiment)."""
+        self.l1.flush_all()
+        self.l2.flush_all()
+        self.llc.flush_all()

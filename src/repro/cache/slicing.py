@@ -1,0 +1,47 @@
+"""LLC slice hashing.
+
+Sandy Bridge LLCs are "organized into slices, with one slice per processor
+core" (paper Section 2.2, citing the Intel optimization manual).  The slice
+is selected by an undocumented hash of the physical address; Hund et al.
+(paper citation [12]) recovered XOR-of-address-bits hash functions for
+similar parts.  We implement that family: slice bit *i* is the XOR-parity
+of a published bit mask applied to the physical address.
+
+Two addresses conflict in the LLC only if they agree on both the set index
+bits *and* the slice hash — exactly the constraint the eviction-set builder
+(:mod:`repro.attacks.eviction`) must satisfy.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..units import is_power_of_two
+
+# XOR masks in the style of the reverse-engineered Intel hashes
+# (Hund et al., S&P 2013; Maurice et al., RAID 2015).  Mask i gives slice
+# address bit i as the parity of (paddr & mask).
+_SLICE_BIT_MASKS = (
+    0x1B5F575440,
+    0x2EB5FAA880,
+    0x3CCCC93100,
+)
+
+
+def slice_of(paddr: int, n_slices: int) -> int:
+    """Return the LLC slice index for a physical address.
+
+    Raises :class:`ConfigError` unless ``n_slices`` is a power of two no
+    greater than ``2 ** len(_SLICE_BIT_MASKS)``.
+    """
+    if n_slices == 1:
+        return 0
+    if not is_power_of_two(n_slices):
+        raise ConfigError(f"slice count must be a power of two, got {n_slices}")
+    bits = n_slices.bit_length() - 1
+    if bits > len(_SLICE_BIT_MASKS):
+        raise ConfigError(f"at most {2 ** len(_SLICE_BIT_MASKS)} slices supported")
+    result = 0
+    for i in range(bits):
+        parity = (paddr & _SLICE_BIT_MASKS[i]).bit_count() & 1
+        result |= parity << i
+    return result

@@ -1,0 +1,38 @@
+"""ANVIL: the paper's software-based rowhammer detector and protector.
+
+Two-stage design (paper Section 3, Figure 2):
+
+- **Stage 1** monitors the LLC miss rate over windows of ``tc``; only if
+  the rate could sustain a rowhammer attack does the detector pay for
+  sampling.
+- **Stage 2** samples LLC-missing loads/stores with the PEBS facilities
+  for ``ts``, resolves sampled virtual addresses to DRAM rows, and flags
+  rows with high access locality, confirmed by bank locality.
+- **Protection** reads the rows adjacent to each flagged aggressor,
+  refreshing the potential victims.
+
+Install with::
+
+    from repro.core import AnvilModule, AnvilConfig
+    anvil = AnvilModule(machine, AnvilConfig.baseline())
+    anvil.install()
+"""
+
+from .config import AnvilConfig
+from .sampler import DetectedAggressor, LocalityAnalysis, analyze_row_samples
+from .detector import AnvilDetector
+from .refresher import SelectiveRefresher
+from .stats import AnvilStats, Detection
+from .anvil import AnvilModule
+
+__all__ = [
+    "AnvilConfig",
+    "AnvilDetector",
+    "AnvilModule",
+    "AnvilStats",
+    "DetectedAggressor",
+    "Detection",
+    "LocalityAnalysis",
+    "SelectiveRefresher",
+    "analyze_row_samples",
+]

@@ -1,0 +1,130 @@
+"""ANVIL configuration (paper Table 2 and Section 4.5).
+
+The three named configurations evaluated in the paper:
+
+=============  ===================  =====  =====  ======================
+Configuration  LLC_MISS_THRESHOLD   tc     ts     Designed against
+=============  ===================  =====  =====  ======================
+baseline       20K / 6 ms           6 ms   6 ms   220K-access attacks
+light          10K / 6 ms           6 ms   6 ms   110K accesses spread
+                                                  over a full 64 ms
+heavy          20K / 2 ms           2 ms   2 ms   110K accesses in 7.5 ms
+=============  ===================  =====  =====  ======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AnvilConfig:
+    """All detector parameters.
+
+    The stage-2 "high locality" rule follows Section 3.3: a row is an
+    aggressor candidate if its estimated access count over the sampling
+    window (its sample share times the window's LLC miss count) reaches a
+    safety fraction of the access rate a successful attack needs
+    (``assumed_flip_accesses`` per ``assumed_retention_ms``, scaled to
+    ``ts``).
+    """
+
+    # -- stage 1 -------------------------------------------------------------
+    llc_miss_threshold: int = 20_000
+    tc_ms: float = 6.0
+
+    # -- stage 2 -------------------------------------------------------------
+    ts_ms: float = 6.0
+    sampling_rate_hz: float = 5000.0
+    latency_threshold_cycles: int = 40
+    #: facility selection (Section 3.3): >90% load misses -> sample loads
+    #: only; <10% -> stores only; otherwise both.
+    load_only_fraction: float = 0.9
+    store_only_fraction: float = 0.1
+    min_samples: int = 4
+
+    # -- locality analysis ------------------------------------------------------
+    #: calibration of the weakest-cell attack (measured by templating).
+    assumed_flip_accesses: int = 220_000
+    assumed_retention_ms: float = 64.0
+    #: safety factor: flag rows at this fraction of the hammer rate.
+    hot_row_fraction: float = 0.5
+    #: a row additionally needs this many samples before it can be
+    #: flagged — "considering the number of samples" (Section 3.3): one or
+    #: two coinciding samples out of ~30 are statistically meaningless on
+    #: a high-miss-rate workload.
+    min_row_samples: int = 3
+    #: bank-locality confirmation: other same-bank rows must hold at least
+    #: this fraction of the hot row's samples (Section 3.1's filter
+    #: against row-buffer-friendly thrashing patterns).
+    bank_locality_check: bool = True
+    bank_other_fraction: float = 0.5
+
+    # -- protection ----------------------------------------------------------------
+    victim_radius: int = 1
+
+    # -- overhead model (cycles) ------------------------------------------------------
+    #: PMI + PEBS record drain + task_struct resolution per sample
+    #: (~11.5 us at 2.6 GHz — the dominant detector cost, which is why
+    #: "sampling of addresses in the second stage of the detection phase
+    #: contributes to almost all of the performance overhead", Sec. 4.3).
+    pmi_cost_cycles: int = 30_000
+    #: stage-1 window bookkeeping (timer + counter reads).
+    stage1_cost_cycles: int = 4_000
+    #: programming the PEBS facilities when stage 2 starts/stops.
+    stage2_setup_cost_cycles: int = 8_000
+
+    def __post_init__(self) -> None:
+        if self.llc_miss_threshold <= 0:
+            raise ConfigError("llc_miss_threshold must be positive")
+        if self.tc_ms <= 0 or self.ts_ms <= 0:
+            raise ConfigError("window durations must be positive")
+        if not 0 < self.hot_row_fraction <= 1:
+            raise ConfigError("hot_row_fraction must be in (0, 1]")
+        if not 0 <= self.store_only_fraction < self.load_only_fraction <= 1:
+            raise ConfigError("facility-selection fractions out of order")
+        if self.victim_radius < 1:
+            raise ConfigError("victim_radius must be at least 1")
+
+    # -- derived quantities ---------------------------------------------------------
+
+    @property
+    def min_hammer_accesses_per_window(self) -> float:
+        """Row accesses per ``ts`` window a minimal attack must sustain."""
+        return self.assumed_flip_accesses * self.ts_ms / self.assumed_retention_ms
+
+    @property
+    def hot_row_accesses(self) -> float:
+        """Estimated per-window accesses at which a row is flagged."""
+        return self.hot_row_fraction * self.min_hammer_accesses_per_window
+
+    # -- named configurations ----------------------------------------------------------
+
+    @classmethod
+    def baseline(cls) -> "AnvilConfig":
+        """Table 2: threshold 20K, tc = ts = 6 ms."""
+        return cls()
+
+    @classmethod
+    def light(cls) -> "AnvilConfig":
+        """Section 4.5 ANVIL-light: 110K-access attacks spread across a
+        full refresh period; threshold halved to 10K."""
+        return cls(
+            llc_miss_threshold=10_000,
+            tc_ms=6.0,
+            ts_ms=6.0,
+            assumed_flip_accesses=110_000,
+        )
+
+    @classmethod
+    def heavy(cls) -> "AnvilConfig":
+        """Section 4.5 ANVIL-heavy: 110K-access attacks compressed into
+        7.5 ms; windows shrink to 2 ms, threshold unchanged."""
+        return cls(
+            llc_miss_threshold=20_000,
+            tc_ms=2.0,
+            ts_ms=2.0,
+            assumed_flip_accesses=110_000,
+        )

@@ -1,0 +1,101 @@
+"""Stage-2 sample analysis: DRAM row locality and bank locality.
+
+Implements the decision rule of Section 3.3: "sampled DRAM row accesses
+are sorted and the sample distribution is analyzed to identify high DRAM
+row locality.  DRAM row locality is determined by considering the number
+of samples, the number of last-level cache misses for the sampling
+duration and the required last-level cache miss rate for a successful
+rowhammer attack.  For each row that has high DRAM locality, a check is
+made to see if there are other row access samples from the same DRAM
+bank."
+
+The analysis is pure (samples in, aggressors out) so that both the
+cycle-level detector and the fast epoch model share it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .config import AnvilConfig
+
+#: A sampled row: (rank, bank, row).
+RowKey = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class DetectedAggressor:
+    """One row flagged as a rowhammer aggressor."""
+
+    row_key: RowKey
+    sample_count: int
+    estimated_accesses: float
+    bank_other_samples: int
+
+    @property
+    def bank_key(self) -> tuple[int, int]:
+        return self.row_key[:2]
+
+
+@dataclass
+class LocalityAnalysis:
+    """Full result of one stage-2 analysis."""
+
+    aggressors: list[DetectedAggressor] = field(default_factory=list)
+    total_samples: int = 0
+    window_misses: int = 0
+    hot_rows_rejected_by_bank_check: int = 0
+
+    @property
+    def attack_detected(self) -> bool:
+        return bool(self.aggressors)
+
+
+def analyze_row_samples(
+    rows: list[RowKey],
+    window_misses: int,
+    config: AnvilConfig,
+) -> LocalityAnalysis:
+    """Analyze one window of sampled DRAM row accesses.
+
+    ``rows`` holds the DRAM coordinates of each sample (already resolved
+    from virtual addresses); ``window_misses`` is the LLC miss count over
+    the same window, used to scale sample shares into estimated access
+    counts.
+    """
+    analysis = LocalityAnalysis(total_samples=len(rows), window_misses=window_misses)
+    if len(rows) < config.min_samples or window_misses <= 0:
+        return analysis
+
+    row_counts = Counter(rows)
+    bank_counts: Counter[tuple[int, int]] = Counter()
+    for key, count in row_counts.items():
+        bank_counts[key[:2]] += count
+
+    total = len(rows)
+    hot_cutoff = config.hot_row_accesses
+    for key, count in sorted(row_counts.items(), key=lambda kv: (-kv[1], kv[0])):
+        if count < config.min_row_samples:
+            break  # sorted by count: nothing below has enough samples
+        estimated = count / total * window_misses
+        if estimated < hot_cutoff:
+            break  # sorted by count: nothing below can be hot
+        bank_other = bank_counts[key[:2]] - count
+        if config.bank_locality_check and (
+            bank_other < config.bank_other_fraction * count
+        ):
+            # High locality but no same-bank companions: the row buffer
+            # would absorb these accesses, so this is thrashing, not
+            # hammering (Section 3.1).
+            analysis.hot_rows_rejected_by_bank_check += 1
+            continue
+        analysis.aggressors.append(
+            DetectedAggressor(
+                row_key=key,
+                sample_count=count,
+                estimated_accesses=estimated,
+                bank_other_samples=bank_other,
+            )
+        )
+    return analysis

@@ -1,0 +1,54 @@
+"""ANVIL run statistics: detections, refreshes, and overhead accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .sampler import DetectedAggressor, RowKey
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One stage-2 window that concluded an attack was in progress."""
+
+    time_cycles: int
+    aggressors: tuple[DetectedAggressor, ...]
+    refreshed_rows: tuple[RowKey, ...]
+
+
+@dataclass
+class AnvilStats:
+    """Counters accumulated while the module is installed."""
+
+    installed_at_cycles: int = 0
+    stage1_windows: int = 0
+    stage1_triggers: int = 0
+    stage2_windows: int = 0
+    samples_collected: int = 0
+    untranslatable_samples: int = 0
+    detections: list[Detection] = field(default_factory=list)
+    selective_refreshes: int = 0
+    refresh_times_cycles: list[int] = field(default_factory=list)
+    overhead_cycles: int = 0
+
+    @property
+    def detection_count(self) -> int:
+        return len(self.detections)
+
+    def first_detection_cycles(self) -> int | None:
+        """Cycles from install to the first detection, or None."""
+        if not self.detections:
+            return None
+        return self.detections[0].time_cycles - self.installed_at_cycles
+
+    def refreshes_per_interval(self, interval_cycles: int, total_cycles: int) -> float:
+        """Average selective refreshes per ``interval_cycles`` (e.g. per
+        64 ms refresh period, Table 3's metric)."""
+        if total_cycles <= 0:
+            return 0.0
+        return self.selective_refreshes * interval_cycles / total_cycles
+
+    def refreshes_per_second(self, total_cycles: int, freq_hz: float) -> float:
+        """Average selective refreshes per second (Table 4/5's metric)."""
+        seconds = total_cycles / freq_hz
+        return self.selective_refreshes / seconds if seconds > 0 else 0.0

@@ -1,0 +1,39 @@
+"""Baseline and comparison defenses (paper Sections 1.2 and 5.2).
+
+Deployed mitigations the paper breaks:
+
+- :func:`~repro.defenses.double_refresh.apply_refresh_scale` — BIOS
+  updates doubling the DRAM refresh rate;
+- CLFLUSH restriction — modelled by ``clflush_allowed=False`` on the
+  machine (:class:`~repro.defenses.clflush_ban.ClflushBan` documents it);
+- pagemap restriction — ``pagemap_restricted=True``.
+
+Proposed hardware defenses implemented for comparison benches:
+
+- :class:`~repro.defenses.para.Para` — probabilistic adjacent row
+  activation (Kim et al. [24]);
+- :class:`~repro.defenses.trr.TargetedRowRefresh` — counter-based TRR as
+  in LPDDR4/DDR4 [19, 21];
+- :class:`~repro.defenses.armor.Armor` — hot-row buffering [25];
+- :class:`~repro.defenses.ecc.EccScrubber` — SECDED ECC scrubbing [14].
+"""
+
+from .base import Defense
+from .clflush_ban import ClflushBan
+from .double_refresh import DoubleRefresh, apply_refresh_scale
+from .para import Para
+from .trr import TargetedRowRefresh
+from .armor import Armor
+from .ecc import EccScrubber, EccReport
+
+__all__ = [
+    "Armor",
+    "ClflushBan",
+    "Defense",
+    "DoubleRefresh",
+    "EccReport",
+    "EccScrubber",
+    "Para",
+    "TargetedRowRefresh",
+    "apply_refresh_scale",
+]

@@ -1,0 +1,76 @@
+"""ARMOR: a run-time memory hot-row detector (paper citation [25]).
+
+"Project Armor introduces an extra buffer that will cache data from rows
+with repeated activation commands.  By servicing requests to hammered rows
+from the extra buffer, Armor prevents rows from being accessed
+repeatedly" (Section 5.2.2).
+
+Model: the controller tracks per-row activation counts within a window;
+rows crossing ``hot_threshold`` enter a small fully associative hot-row
+buffer.  Accesses to buffered rows are *absorbed* — served from the
+buffer at row-hit latency, with no activation and therefore no neighbour
+disturbance.  Armor registers as both a controller
+:class:`~repro.dram.controller.RowFilter` (absorption) and an
+:class:`~repro.dram.controller.ActivationObserver` (counting).
+"""
+
+from __future__ import annotations
+
+from ..dram import DramCoord
+from ..sim.machine import Machine
+from .base import Defense
+
+
+class Armor(Defense):
+    """Hot-row buffering in front of the DRAM array."""
+
+    def __init__(self, hot_threshold: int = 2_000, buffer_rows: int = 8,
+                 window_ms: float = 64.0) -> None:
+        if hot_threshold <= 0 or buffer_rows <= 0:
+            raise ValueError("threshold and buffer size must be positive")
+        self.hot_threshold = hot_threshold
+        self.buffer_rows = buffer_rows
+        self.window_ms = window_ms
+        self.name = f"armor-h{hot_threshold}"
+        self.absorbed = 0
+        self._window_cycles = 0
+        self._counts: dict[tuple[int, int, int], list[int]] = {}
+        self._buffer: dict[tuple[int, int, int], int] = {}  # row -> insert time
+
+    def install(self, machine: Machine) -> None:
+        self._window_cycles = machine.clock.cycles_from_ms(self.window_ms)
+        controller = machine.memory.controller
+        controller.add_row_filter(self)
+        controller.add_observer(self)
+
+    def uninstall(self, machine: Machine) -> None:
+        controller = machine.memory.controller
+        controller.remove_row_filter(self)
+        controller.remove_observer(self)
+
+    # -- RowFilter: absorption ------------------------------------------------------
+
+    def absorbs(self, coord: DramCoord, time_cycles: int) -> bool:
+        del time_cycles
+        if (coord.rank, coord.bank, coord.row) in self._buffer:
+            self.absorbed += 1
+            return True
+        return False
+
+    # -- ActivationObserver: hot-row tracking ------------------------------------------
+
+    def on_activation(self, coord: DramCoord, time_cycles: int) -> list[DramCoord]:
+        key = (coord.rank, coord.bank, coord.row)
+        window = time_cycles // self._window_cycles if self._window_cycles else 0
+        entry = self._counts.setdefault(key, [0, window])
+        if entry[1] != window:
+            entry[0], entry[1] = 0, window
+        entry[0] += 1
+        if entry[0] >= self.hot_threshold:
+            if len(self._buffer) >= self.buffer_rows:
+                # Write back and drop the oldest buffered row.
+                oldest = min(self._buffer, key=self._buffer.get)
+                del self._buffer[oldest]
+            self._buffer[key] = time_cycles
+            entry[0] = 0
+        return []

@@ -1,0 +1,29 @@
+"""Common defense interface.
+
+A defense either reconfigures the machine before it runs (refresh-rate
+changes, instruction bans) or hooks the memory controller's activation
+stream (PARA, TRR, ARMOR).  ``install`` wires it up; ``describe`` feeds
+the comparison benches.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..sim.machine import Machine
+
+
+class Defense(ABC):
+    """One rowhammer mitigation bound to a machine."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def install(self, machine: Machine) -> None:
+        """Attach the defense to the machine (before running traffic)."""
+
+    def uninstall(self, machine: Machine) -> None:  # noqa: B027 - optional
+        """Detach, if supported."""
+
+    def describe(self) -> str:
+        return self.name

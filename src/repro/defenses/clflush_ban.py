@@ -1,0 +1,26 @@
+"""CLFLUSH restriction: the NaCl sandbox mitigation (Section 1.2).
+
+"Google recently updated the Chrome Native Client sandbox ... to prevent
+the loading of any code containing the CLFLUSH instruction."  On the
+simulated machine, any CLFLUSH raises
+:class:`~repro.errors.ClflushRestrictedError` — which stops the
+CLFLUSH-based attacks cold while leaving the CLFLUSH-free attack entirely
+unaffected (the point of Section 2.2).
+"""
+
+from __future__ import annotations
+
+from ..sim.machine import Machine
+from .base import Defense
+
+
+class ClflushBan(Defense):
+    """Disallow the CLFLUSH instruction machine-wide."""
+
+    name = "clflush-ban"
+
+    def install(self, machine: Machine) -> None:
+        machine.memory.clflush_allowed = False
+
+    def uninstall(self, machine: Machine) -> None:
+        machine.memory.clflush_allowed = True

@@ -1,0 +1,35 @@
+"""Refresh-rate scaling: the deployed BIOS mitigation (Section 2.1).
+
+"A number of vendors published BIOS updates that double the rate at which
+DRAM refreshes its data" — halving both the retention window an attacker
+can exploit *and* tREFI, which doubles the time the device spends blocked
+on refresh commands (the Figure 3 "Double Refresh" overhead).
+
+Because retiming rebuilds the DRAM device, the scale must be chosen at
+machine construction: use :func:`apply_refresh_scale` or build the machine
+with ``DramTimings().scaled_refresh(factor)`` (see
+:func:`repro.presets.paper_machine`'s ``refresh_scale``).
+"""
+
+from __future__ import annotations
+
+from ..sim.machine import Machine
+from .base import Defense
+
+
+def apply_refresh_scale(machine: Machine, factor: float) -> None:
+    """Retime an *unused* machine's DRAM for a ``factor``-times refresh
+    rate (2.0 = the deployed double-refresh mitigation)."""
+    controller = machine.memory.controller
+    controller.set_timings(controller.config.timings.scaled_refresh(factor))
+
+
+class DoubleRefresh(Defense):
+    """Refresh-rate scaling as a :class:`Defense` (default factor 2)."""
+
+    def __init__(self, factor: float = 2.0) -> None:
+        self.factor = factor
+        self.name = f"refresh-x{factor:g}"
+
+    def install(self, machine: Machine) -> None:
+        apply_refresh_scale(machine, self.factor)

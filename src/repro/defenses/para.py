@@ -1,0 +1,56 @@
+"""PARA: probabilistic adjacent row activation (Kim et al. [24]).
+
+"When an activation command is sent to a row, a random number generator is
+used to decide if [an] adjacent row has to be refreshed.  Since requests
+to rows that are being hammered will be encountered very frequently, there
+is a high probability that it will trigger a refresh" (Section 5.2.2).
+
+With probability ``p`` per activation, both neighbours of the activated
+row are refreshed.  A minimal attack of N activations survives with
+probability (1-p)^N — negligible for p=0.001 and N in the hundreds of
+thousands.  PARA requires a modified memory controller, which is why it
+"can not be deployed on existing systems"; here it registers as a
+controller activation observer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..dram import DramCoord
+from ..sim.machine import Machine
+from .base import Defense
+
+
+class Para(Defense):
+    """Probabilistic neighbour refresh in the memory controller."""
+
+    def __init__(self, probability: float = 0.001, seed: int = 0xBA5E) -> None:
+        if not 0 < probability <= 1:
+            raise ValueError("probability must be in (0, 1]")
+        self.probability = probability
+        self.name = f"para-p{probability:g}"
+        self._rng = random.Random(seed)
+        self.triggered = 0
+        self._rows_per_bank = 0
+
+    def install(self, machine: Machine) -> None:
+        self._rows_per_bank = machine.memory.mapping.config.rows_per_bank
+        machine.memory.controller.add_observer(self)
+
+    def uninstall(self, machine: Machine) -> None:
+        machine.memory.controller.remove_observer(self)
+
+    # -- ActivationObserver ------------------------------------------------------
+
+    def on_activation(self, coord: DramCoord, time_cycles: int) -> list[DramCoord]:
+        del time_cycles
+        if self._rng.random() >= self.probability:
+            return []
+        self.triggered += 1
+        neighbors = []
+        for delta in (-1, 1):
+            row = coord.row + delta
+            if 0 <= row < self._rows_per_bank:
+                neighbors.append(DramCoord(coord.rank, coord.bank, row, 0))
+        return neighbors

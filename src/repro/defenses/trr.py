@@ -1,0 +1,76 @@
+"""Counter-based targeted row refresh (TRR), as in LPDDR4/DDR4 modules
+and Intel's pTRR (paper Sections 1.2 and 5.2.2).
+
+"The mechanism tracks the number of row activations within a fixed time
+window, and selectively refreshes rows neighboring a too-frequently
+accessed DRAM row."
+
+Real TRR implementations track only a small number of rows per bank
+(which is what later made many-sided attacks possible); ``table_size``
+models that limit.  When a tracked row's activation count inside the
+current window crosses ``activation_threshold``, its neighbours are
+refreshed and the counter resets.
+"""
+
+from __future__ import annotations
+
+from ..dram import DramCoord
+from ..sim.machine import Machine
+from .base import Defense
+
+
+class TargetedRowRefresh(Defense):
+    """Per-bank activation counters with limited tracker slots."""
+
+    def __init__(
+        self,
+        activation_threshold: int = 32_768,
+        window_ms: float = 64.0,
+        table_size: int = 16,
+    ) -> None:
+        if activation_threshold <= 0 or table_size <= 0:
+            raise ValueError("threshold and table size must be positive")
+        self.activation_threshold = activation_threshold
+        self.window_ms = window_ms
+        self.table_size = table_size
+        self.name = f"trr-t{activation_threshold}"
+        self.triggered = 0
+        self.evicted_trackers = 0
+        self._window_cycles = 0
+        self._rows_per_bank = 0
+        # (rank, bank) -> {row: [count, window_index]}
+        self._tables: dict[tuple[int, int], dict[int, list[int]]] = {}
+
+    def install(self, machine: Machine) -> None:
+        self._window_cycles = machine.clock.cycles_from_ms(self.window_ms)
+        self._rows_per_bank = machine.memory.mapping.config.rows_per_bank
+        machine.memory.controller.add_observer(self)
+
+    def uninstall(self, machine: Machine) -> None:
+        machine.memory.controller.remove_observer(self)
+
+    # -- ActivationObserver ------------------------------------------------------
+
+    def on_activation(self, coord: DramCoord, time_cycles: int) -> list[DramCoord]:
+        table = self._tables.setdefault(coord.bank_key, {})
+        window = time_cycles // self._window_cycles if self._window_cycles else 0
+        entry = table.get(coord.row)
+        if entry is None:
+            if len(table) >= self.table_size:
+                # Evict the coldest tracker (the real modules' weakness).
+                coldest = min(table, key=lambda row: table[row][0])
+                del table[coldest]
+                self.evicted_trackers += 1
+            entry = table[coord.row] = [0, window]
+        if entry[1] != window:
+            entry[0], entry[1] = 0, window
+        entry[0] += 1
+        if entry[0] < self.activation_threshold:
+            return []
+        entry[0] = 0
+        self.triggered += 1
+        return [
+            DramCoord(coord.rank, coord.bank, row, 0)
+            for row in (coord.row - 1, coord.row + 1)
+            if 0 <= row < self._rows_per_bank
+        ]

@@ -1,0 +1,33 @@
+"""DRAM substrate: geometry, address mapping, banks with row buffers,
+auto-refresh, the rowhammer disturbance model, and the memory controller.
+
+The paper's experiments run against a 4 GB DDR3 module on a Sandy Bridge
+laptop.  :func:`repro.dram.config.ddr3_4gb` builds the equivalent simulated
+module; :class:`repro.dram.controller.MemoryController` is the only entry
+point the rest of the system uses.
+"""
+
+from .config import DisturbanceConfig, DramConfig, DramTimings, ddr3_4gb
+from .mapping import AddressMapping, DramCoord
+from .device import DramDevice, BitFlip
+from .controller import DramAccess, MemoryController, ActivationObserver
+from .power import DramPowerConfig, DramPowerModel, PowerBreakdown
+from .refresh import RefreshEngine
+
+__all__ = [
+    "ActivationObserver",
+    "AddressMapping",
+    "BitFlip",
+    "DisturbanceConfig",
+    "DramAccess",
+    "DramConfig",
+    "DramCoord",
+    "DramDevice",
+    "DramPowerConfig",
+    "DramPowerModel",
+    "PowerBreakdown",
+    "DramTimings",
+    "MemoryController",
+    "RefreshEngine",
+    "ddr3_4gb",
+]

@@ -1,0 +1,190 @@
+"""DRAM geometry, timing, and disturbance configuration.
+
+Defaults model the paper's test module: a 4 GB DDR3 DIMM (2 ranks x 8
+banks x 32768 rows x 8 KB rows) behind a single channel, with a 64 ms
+retention period and a refresh command every 7.8 us (paper Section 1.1,
+citing the JEDEC DDR3 specification).
+
+Disturbance calibration (see DESIGN.md): one activation of a row adds one
+"disturbance unit" to each physically adjacent row.  The weakest row of the
+simulated test module flips its first bit after 220K units inside a single
+retention window — the paper's Table 1 double-sided minimum.  A
+single-sided attack spends half of its accesses on a row-buffer-toggling
+dummy row, so its total-access minimum is about twice that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..units import GB, Clock, is_power_of_two
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """DRAM timing parameters in nanoseconds (DDR3-1600-class)."""
+
+    tcas_ns: float = 13.75  # column access (row-buffer hit)
+    trcd_ns: float = 13.75  # activate -> column access
+    trp_ns: float = 13.75  # precharge
+    trfc_ns: float = 350.0  # refresh command duration (4 Gb parts)
+    trefi_ns: float = 7800.0  # refresh command interval
+    retention_ms: float = 64.0  # per-row refresh period
+
+    def __post_init__(self) -> None:
+        for name in ("tcas_ns", "trcd_ns", "trp_ns", "trfc_ns", "trefi_ns"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.retention_ms <= 0:
+            raise ConfigError("retention_ms must be positive")
+        if self.trfc_ns >= self.trefi_ns:
+            raise ConfigError("tRFC must be smaller than tREFI")
+
+    def scaled_refresh(self, factor: float) -> "DramTimings":
+        """Return timings with the refresh rate multiplied by ``factor``.
+
+        ``factor=2`` models the deployed "double refresh" mitigation:
+        retention drops 64 ms -> 32 ms and refresh commands arrive twice as
+        often (tREFI halves), doubling the refresh-blocking overhead.
+        """
+        if factor <= 0:
+            raise ConfigError("refresh scale factor must be positive")
+        return DramTimings(
+            tcas_ns=self.tcas_ns,
+            trcd_ns=self.trcd_ns,
+            trp_ns=self.trp_ns,
+            trfc_ns=self.trfc_ns,
+            trefi_ns=self.trefi_ns / factor,
+            retention_ms=self.retention_ms / factor,
+        )
+
+    # -- cycle conversions ---------------------------------------------------
+
+    def row_hit_cycles(self, clock: Clock) -> int:
+        """Row-buffer hit: column access only."""
+        return clock.cycles_from_ns(self.tcas_ns)
+
+    def row_closed_cycles(self, clock: Clock) -> int:
+        """Bank precharged: activate + column access."""
+        return clock.cycles_from_ns(self.trcd_ns + self.tcas_ns)
+
+    def row_conflict_cycles(self, clock: Clock) -> int:
+        """Different row open: precharge + activate + column access."""
+        return clock.cycles_from_ns(self.trp_ns + self.trcd_ns + self.tcas_ns)
+
+    def retention_cycles(self, clock: Clock) -> int:
+        return clock.cycles_from_ms(self.retention_ms)
+
+    def trefi_cycles(self, clock: Clock) -> int:
+        return clock.cycles_from_ns(self.trefi_ns)
+
+    def trfc_cycles(self, clock: Clock) -> int:
+        return clock.cycles_from_ns(self.trfc_ns)
+
+
+@dataclass(frozen=True)
+class DisturbanceConfig:
+    """Parameters of the rowhammer cross-talk model.
+
+    ``threshold_min`` is the disturbance-unit count at which the weakest
+    row in the module flips its first bit; other rows' thresholds are drawn
+    deterministically from ``threshold_min * (1 + spread * u)`` where ``u``
+    is a per-row uniform variate, and a ``strong_fraction`` of rows never
+    flip (their cells are below the crosstalk sensitivity floor).
+
+    ``neighbor_weights[d-1]`` is the number of units an activation deposits
+    on a victim ``d`` rows away; the default models a blast radius of one
+    row, matching the paper's victim model ("rows that are directly above
+    and below each potential aggressor row").
+    """
+
+    threshold_min: int = 220_000
+    spread: float = 1.5
+    strong_fraction: float = 0.4
+    neighbor_weights: tuple[float, ...] = (1.0,)
+    extra_flip_step: float = 0.15  # each +15% units past threshold flips another bit
+    max_flips_per_row: int = 8
+    seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.threshold_min <= 0:
+            raise ConfigError("threshold_min must be positive")
+        if not 0 <= self.strong_fraction < 1:
+            raise ConfigError("strong_fraction must be in [0, 1)")
+        if self.spread < 0:
+            raise ConfigError("spread must be non-negative")
+        if not self.neighbor_weights or any(w <= 0 for w in self.neighbor_weights):
+            raise ConfigError("neighbor_weights must be non-empty and positive")
+        if self.extra_flip_step <= 0 or self.max_flips_per_row <= 0:
+            raise ConfigError("flip accumulation parameters must be positive")
+
+    @property
+    def blast_radius(self) -> int:
+        return len(self.neighbor_weights)
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Geometry plus timing plus disturbance model for one module."""
+
+    ranks: int = 2
+    banks_per_rank: int = 8
+    rows_per_bank: int = 32_768
+    row_bytes: int = 8_192
+    timings: DramTimings = field(default_factory=DramTimings)
+    disturbance: DisturbanceConfig = field(default_factory=DisturbanceConfig)
+    xor_bank_hash: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("ranks", "banks_per_rank", "rows_per_bank", "row_bytes"):
+            if not is_power_of_two(getattr(self, name)):
+                raise ConfigError(f"{name} must be a power of two")
+
+    @property
+    def total_banks(self) -> int:
+        return self.ranks * self.banks_per_rank
+
+    @property
+    def total_rows(self) -> int:
+        return self.total_banks * self.rows_per_bank
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_rows * self.row_bytes
+
+    def with_timings(self, timings: DramTimings) -> "DramConfig":
+        return DramConfig(
+            ranks=self.ranks,
+            banks_per_rank=self.banks_per_rank,
+            rows_per_bank=self.rows_per_bank,
+            row_bytes=self.row_bytes,
+            timings=timings,
+            disturbance=self.disturbance,
+            xor_bank_hash=self.xor_bank_hash,
+        )
+
+    def with_disturbance(self, disturbance: DisturbanceConfig) -> "DramConfig":
+        return DramConfig(
+            ranks=self.ranks,
+            banks_per_rank=self.banks_per_rank,
+            rows_per_bank=self.rows_per_bank,
+            row_bytes=self.row_bytes,
+            timings=self.timings,
+            disturbance=disturbance,
+            xor_bank_hash=self.xor_bank_hash,
+        )
+
+
+def ddr3_4gb(**overrides) -> DramConfig:
+    """The paper's test module: 4 GB DDR3 with default timings.
+
+    Keyword overrides are forwarded to :class:`DramConfig`.
+    """
+    config = DramConfig(**overrides)
+    if config.capacity_bytes != 4 * GB:
+        raise ConfigError(
+            f"geometry yields {config.capacity_bytes} bytes, expected 4 GB; "
+            "use DramConfig directly for other capacities"
+        )
+    return config

@@ -1,0 +1,179 @@
+"""The rowhammer disturbance model.
+
+Physics being modelled (paper Section 1.1): "Repeated accesses to one row
+(the aggressor) within a single refresh cycle (e.g., 100's of thousands of
+accesses) speeds up the discharge of bit cells in adjacent rows (victim
+rows). This causes bit-flips in the victim rows most sensitive to
+hammering."
+
+Model: every *activation* (row-buffer fill; row-buffer hits do not count)
+of row ``r`` deposits ``neighbor_weights[d-1]`` disturbance units on each
+row ``r +- d``.  A victim row's accumulated units reset whenever the row is
+itself activated (a read restores the charge — the basis of ANVIL's
+selective refresh) and at each of its auto-refresh epochs.  When a victim's
+units cross its per-row threshold, bits flip.
+
+Per-row thresholds are deterministic functions of (seed, row id): a
+``strong_fraction`` of rows never flip; the rest are spread between
+``threshold_min`` and ``threshold_min * (1 + spread)``, so the module has a
+tail of weak rows an attacker would find by templating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import DisturbanceConfig
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a cheap, well-distributed 64-bit hash."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """One disturbance-induced bit flip."""
+
+    row_id: int  # dense per-module row index
+    bit_offset: int  # bit position within the row (0 .. row_bits-1)
+    time_cycles: int
+    units_at_flip: float
+
+
+class CellPopulation:
+    """Deterministic per-row weak-cell thresholds and flip positions."""
+
+    def __init__(self, config: DisturbanceConfig, row_bits: int) -> None:
+        self.config = config
+        self.row_bits = row_bits  # bits per row (row_bytes * 8)
+        self._threshold_cache: dict[int, float] = {}
+
+    def threshold_for(self, row_id: int) -> float:
+        """Units needed to flip the first bit in ``row_id``.
+
+        Returns ``inf`` for rows whose cells are too strong to flip.
+        """
+        cached = self._threshold_cache.get(row_id)
+        if cached is not None:
+            return cached
+        h = _mix64(self.config.seed * 0x10001 + row_id)
+        u_strong = (h & 0xFFFFFFFF) / 0x100000000
+        if u_strong < self.config.strong_fraction:
+            threshold = float("inf")
+        else:
+            u = (h >> 32) / 0x100000000
+            threshold = self.config.threshold_min * (1.0 + self.config.spread * u)
+        self._threshold_cache[row_id] = threshold
+        return threshold
+
+    def flip_bit_position(self, row_id: int, flip_index: int) -> int:
+        """The ``flip_index``-th bit of ``row_id`` to flip (deterministic)."""
+        h = _mix64(self.config.seed * 0x20003 + row_id * 131 + flip_index)
+        return h % self.row_bits
+
+    def flip_threshold(self, row_id: int, flip_index: int) -> float:
+        """Units at which the ``flip_index``-th bit of the row flips.
+
+        The first bit flips at the row threshold; each further bit needs
+        ``extra_flip_step`` (15% by default) more units — modelling the
+        paper's observation (Section 1.2) of "multiple bit-flips per word"
+        under sustained hammering.
+        """
+        base = self.threshold_for(row_id)
+        return base * (1.0 + self.config.extra_flip_step * flip_index)
+
+    def weakest_rows(self, row_ids: list[int] | range, count: int = 1) -> list[int]:
+        """The ``count`` rows with the lowest flip thresholds among
+        ``row_ids`` (ties broken by row id) — what an attacker's
+        templating scan would discover."""
+        scored = sorted(
+            (self.threshold_for(r), r) for r in row_ids
+        )
+        return [r for t, r in scored[:count] if t != float("inf")]
+
+
+class DisturbanceTracker:
+    """Accumulates disturbance units per victim row within refresh epochs.
+
+    The tracker is lazy: a row's accumulator is only reconciled against the
+    auto-refresh schedule when the row is next disturbed, which keeps the
+    per-activation cost O(blast radius).
+    """
+
+    def __init__(self, cells: CellPopulation, config: DisturbanceConfig) -> None:
+        self.cells = cells
+        self.config = config
+        # row_id -> [units, epoch, flips_done]
+        self._state: dict[int, list] = {}
+        self.flips: list[BitFlip] = []
+        self._flip_bits: dict[int, set[int]] = {}  # row_id -> flipped bit offsets
+        self.total_units_deposited = 0.0
+
+    # -- epoch bookkeeping ----------------------------------------------------
+
+    def _entry(self, row_id: int, epoch: int) -> list:
+        entry = self._state.get(row_id)
+        if entry is None:
+            entry = [0.0, epoch, 0]
+            self._state[row_id] = entry
+        elif entry[1] != epoch:
+            entry[0] = 0.0
+            entry[1] = epoch
+        return entry
+
+    def units(self, row_id: int, epoch: int) -> float:
+        """Current accumulated units for ``row_id`` in ``epoch``."""
+        entry = self._state.get(row_id)
+        if entry is None or entry[1] != epoch:
+            return 0.0
+        return entry[0]
+
+    # -- events ----------------------------------------------------------------
+
+    def on_refresh(self, row_id: int, epoch: int) -> None:
+        """The row was activated/refreshed: its charge is restored."""
+        entry = self._entry(row_id, epoch)
+        entry[0] = 0.0
+
+    def disturb(
+        self, row_id: int, units: float, epoch: int, time_cycles: int
+    ) -> list[BitFlip]:
+        """Deposit ``units`` on ``row_id``; return any new bit flips."""
+        entry = self._entry(row_id, epoch)
+        entry[0] += units
+        self.total_units_deposited += units
+        new_flips: list[BitFlip] = []
+        flips_done = entry[2]
+        while flips_done < self.config.max_flips_per_row:
+            needed = self.cells.flip_threshold(row_id, flips_done)
+            if entry[0] < needed:
+                break
+            bit = self.cells.flip_bit_position(row_id, flips_done)
+            flip = BitFlip(
+                row_id=row_id,
+                bit_offset=bit,
+                time_cycles=time_cycles,
+                units_at_flip=entry[0],
+            )
+            new_flips.append(flip)
+            self.flips.append(flip)
+            self._flip_bits.setdefault(row_id, set()).add(bit)
+            flips_done += 1
+        entry[2] = flips_done
+        return new_flips
+
+    # -- queries ----------------------------------------------------------------
+
+    def flipped_bits(self, row_id: int) -> set[int]:
+        """Bit offsets flipped so far in ``row_id``."""
+        return self._flip_bits.get(row_id, set())
+
+    def flip_count(self) -> int:
+        return len(self.flips)
+
+    def rows_with_flips(self) -> list[int]:
+        return sorted(self._flip_bits)

@@ -1,0 +1,111 @@
+"""DRAM refresh power and throughput cost model (paper Section 2.1).
+
+"Increasing the refresh rate comes at the cost of increased power and
+reduced DRAM throughput — as refresh commands compete with
+software-requested memory accesses.  Going from a 64 ms refresh period to
+the 15 ms required to protect our DRAM requires over a 4x increase in
+refresh power and throughput overhead."
+
+The model uses the standard Micron power-calculation method reduced to
+the terms refresh scaling changes: a refresh command draws a burst
+current (IDD5 class) for tRFC every tREFI; background and access power
+are unchanged by refresh scaling and enter only the totals.  All numbers
+default to a 4 Gb DDR3-1600 part at 1.5 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .config import DramTimings
+
+
+@dataclass(frozen=True)
+class DramPowerConfig:
+    """Electrical parameters (per rank, 4 Gb DDR3-1600-class defaults)."""
+
+    vdd: float = 1.5
+    #: refresh burst current minus background (IDD5B - IDD3N), amps.
+    idd5_delta: float = 0.160
+    #: background current, precharge standby (IDD2N), amps.
+    idd_background: float = 0.045
+    #: incremental energy per row activate+precharge pair, joules.
+    activate_energy_j: float = 18e-9
+    #: incremental energy per column read/write burst, joules.
+    access_energy_j: float = 5e-9
+
+    def __post_init__(self) -> None:
+        if min(self.vdd, self.idd5_delta, self.idd_background) <= 0:
+            raise ConfigError("electrical parameters must be positive")
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average power (watts) and throughput cost for one configuration."""
+
+    refresh_w: float
+    background_w: float
+    activate_w: float
+    access_w: float
+    #: fraction of device time unavailable to demand accesses.
+    throughput_loss: float
+
+    @property
+    def total_w(self) -> float:
+        return self.refresh_w + self.background_w + self.activate_w + self.access_w
+
+
+class DramPowerModel:
+    """Average-power estimates from timing parameters and activity rates."""
+
+    def __init__(self, power: DramPowerConfig | None = None) -> None:
+        self.power = power or DramPowerConfig()
+
+    def refresh_power_w(self, timings: DramTimings) -> float:
+        """Average refresh power: burst current x duty cycle.
+
+        Scales inversely with tREFI, which is exactly how doubling the
+        refresh rate doubles refresh power.
+        """
+        duty = timings.trfc_ns / timings.trefi_ns
+        return self.power.vdd * self.power.idd5_delta * duty
+
+    def breakdown(
+        self,
+        timings: DramTimings,
+        activations_per_s: float = 0.0,
+        accesses_per_s: float = 0.0,
+    ) -> PowerBreakdown:
+        """Full average-power breakdown under a given activity level."""
+        if activations_per_s < 0 or accesses_per_s < 0:
+            raise ConfigError("activity rates must be non-negative")
+        return PowerBreakdown(
+            refresh_w=self.refresh_power_w(timings),
+            background_w=self.power.vdd * self.power.idd_background,
+            activate_w=self.power.activate_energy_j * activations_per_s,
+            access_w=self.power.access_energy_j * accesses_per_s,
+            throughput_loss=timings.trfc_ns / timings.trefi_ns,
+        )
+
+    def refresh_scaling_cost(
+        self, base: DramTimings, factor: float
+    ) -> tuple[float, float]:
+        """(refresh-power multiplier, added throughput loss) of scaling
+        the refresh rate by ``factor`` — the Section 2.1 argument."""
+        scaled = base.scaled_refresh(factor)
+        power_multiplier = self.refresh_power_w(scaled) / self.refresh_power_w(base)
+        throughput_delta = (
+            scaled.trfc_ns / scaled.trefi_ns - base.trfc_ns / base.trefi_ns
+        )
+        return power_multiplier, throughput_delta
+
+    def selective_refresh_power_w(self, refreshes_per_s: float) -> float:
+        """Average power of ANVIL's selective refreshes: one activation
+        per refreshed row.  At Table 3 rates (hundreds per second at
+        most) this is nanowatts-to-microwatts — the quantitative form of
+        'false positives ... incur only a small number of extra DRAM read
+        operations'."""
+        if refreshes_per_s < 0:
+            raise ConfigError("refresh rate must be non-negative")
+        return self.power.activate_energy_j * refreshes_per_s

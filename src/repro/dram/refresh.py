@@ -1,0 +1,75 @@
+"""Auto-refresh scheduling and its performance cost.
+
+Two aspects of refresh matter to the paper:
+
+1. **Retention epochs.**  Each row is refreshed once per retention period
+   (64 ms for DDR3, 32 ms under the doubled-refresh mitigation).  Rows are
+   refreshed in a staggered round-robin, so row ``r``'s refresh instants
+   are offset by a per-row phase.  A victim row's disturbance accumulator
+   resets at each of its refresh instants — the defender's budget is
+   "units an attacker can deposit within one epoch".
+
+2. **Blocking cost.**  A refresh command occupies the device for tRFC out
+   of every tREFI, during which demand accesses stall.  Doubling the
+   refresh rate doubles this lost time, which is why the paper's Figure 3
+   shows memory-intensive workloads (mcf) losing several percent to the
+   double-refresh mitigation.
+"""
+
+from __future__ import annotations
+
+from ..units import Clock
+from .config import DramTimings
+
+
+class RefreshEngine:
+    """Derives per-row refresh epochs and refresh-blocking delays."""
+
+    def __init__(self, timings: DramTimings, clock: Clock, total_rows: int) -> None:
+        self.timings = timings
+        self.clock = clock
+        self.total_rows = total_rows
+        self.retention_cycles = timings.retention_cycles(clock)
+        self.trefi_cycles = max(1, timings.trefi_cycles(clock))
+        self.trfc_cycles = timings.trfc_cycles(clock)
+
+    def phase(self, row_id: int) -> int:
+        """Cycle offset of ``row_id``'s refresh within the retention period."""
+        return (row_id * self.retention_cycles) // self.total_rows
+
+    def epoch(self, row_id: int, time_cycles: int) -> int:
+        """Index of the retention epoch ``row_id`` is in at ``time_cycles``.
+
+        The accumulator-reset boundary between epochs is the row's refresh
+        instant.  Times before the row's first refresh are epoch 0.
+        """
+        shifted = time_cycles - self.phase(row_id)
+        if shifted < 0:
+            return 0
+        return 1 + shifted // self.retention_cycles
+
+    def next_refresh(self, row_id: int, time_cycles: int) -> int:
+        """Cycle of the next auto-refresh of ``row_id`` after ``time_cycles``."""
+        phase = self.phase(row_id)
+        if time_cycles < phase:
+            return phase
+        periods = (time_cycles - phase) // self.retention_cycles + 1
+        return phase + periods * self.retention_cycles
+
+    def blocking_delay(self, time_cycles: int) -> int:
+        """Extra cycles a demand access arriving at ``time_cycles`` waits
+        because a refresh command is in progress.
+
+        Deterministic model: a refresh command starts at every multiple of
+        tREFI and holds the device for tRFC.  Expected cost per access is
+        ``tRFC^2 / (2 * tREFI)`` for uniformly arriving traffic, which
+        scales linearly with refresh rate — the doubled-refresh penalty.
+        """
+        pos = time_cycles % self.trefi_cycles
+        if pos < self.trfc_cycles:
+            return self.trfc_cycles - pos
+        return 0
+
+    def duty_fraction(self) -> float:
+        """Fraction of time the device is blocked refreshing."""
+        return self.trfc_cycles / self.trefi_cycles

@@ -1,0 +1,16 @@
+"""Memory system: virtual memory, the ``/proc/pagemap`` emulation used by
+the attacks, and the unified virtual-address access path (TLB-free model:
+translate -> caches -> controller -> DRAM)."""
+
+from .virtual import VirtualMemory, VmConfig
+from .pagemap import Pagemap
+from .memory_system import MemoryAccess, MemorySystem, MemorySystemConfig
+
+__all__ = [
+    "MemoryAccess",
+    "MemorySystem",
+    "MemorySystemConfig",
+    "Pagemap",
+    "VirtualMemory",
+    "VmConfig",
+]

@@ -1,0 +1,146 @@
+"""Simulated virtual memory: page allocation and address translation.
+
+The CLFLUSH-free attack needs physical addresses to build LLC eviction sets
+and to find aggressor rows; it obtains them "using the Linux /proc/pagemap
+utility to convert virtual addresses to physical addresses" (Section 2.3).
+This module provides the page tables that utility reads.
+
+Physical pages are handed out by a configurable strategy:
+
+- ``"sequential"`` — pages are physically contiguous (fresh boot, THP);
+- ``"scrambled"`` — a deterministic pseudo-random permutation of frames
+  (a fragmented machine), which is what makes pagemap *necessary* for the
+  attacker.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import AllocationError, ConfigError, TranslationError
+from ..units import is_power_of_two
+
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class VmConfig:
+    """Virtual-memory layout parameters."""
+
+    phys_bytes: int
+    page_bytes: int = PAGE_SIZE
+    placement: str = "scrambled"  # or "sequential"
+    seed: int = 42
+    #: Physical frames below this address are reserved (kernel, firmware),
+    #: keeping user allocations away from row 0 edge cases.
+    reserved_low_bytes: int = 1 << 24
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.page_bytes):
+            raise ConfigError("page size must be a power of two")
+        if self.phys_bytes % self.page_bytes:
+            raise ConfigError("physical size must be page aligned")
+        if self.placement not in ("sequential", "scrambled"):
+            raise ConfigError(f"unknown placement {self.placement!r}")
+        if self.reserved_low_bytes % self.page_bytes:
+            raise ConfigError("reserved region must be page aligned")
+        if self.reserved_low_bytes >= self.phys_bytes:
+            raise ConfigError("reserved region covers all of memory")
+
+
+class VirtualMemory:
+    """Page tables plus a simple bump allocator for virtual space."""
+
+    #: Base of the simulated user heap.
+    VBASE = 0x7F00_0000_0000
+
+    def __init__(self, config: VmConfig) -> None:
+        self.config = config
+        self._page_bits = config.page_bytes.bit_length() - 1
+        first_frame = config.reserved_low_bytes >> self._page_bits
+        total_frames = config.phys_bytes >> self._page_bits
+        frames = list(range(first_frame, total_frames))
+        if config.placement == "scrambled":
+            random.Random(config.seed).shuffle(frames)
+        else:
+            frames.reverse()  # consumed from the end: keep ascending order
+        self._free_frames = frames
+        self._page_table: dict[int, int] = {}  # vpn -> pfn
+        self._next_vaddr = self.VBASE
+
+    # -- allocation -----------------------------------------------------------
+
+    def mmap(self, length: int, physically_contiguous: bool = False) -> int:
+        """Allocate ``length`` bytes of virtual memory; returns the base
+        virtual address.
+
+        ``physically_contiguous=True`` models a transparent-huge-page or
+        boot-time allocation where consecutive virtual pages land on
+        consecutive physical frames (useful for controlled experiments and
+        for the paper's assumption that attackers can reach specific rows).
+        """
+        if length <= 0:
+            raise AllocationError("length must be positive")
+        pages = -(-length // self.config.page_bytes)
+        if pages > len(self._free_frames):
+            raise AllocationError(
+                f"out of physical frames ({pages} needed, "
+                f"{len(self._free_frames)} free)"
+            )
+        base = self._next_vaddr
+        self._next_vaddr += pages * self.config.page_bytes
+        if physically_contiguous:
+            frames = self._take_contiguous(pages)
+        else:
+            frames = [self._free_frames.pop() for _ in range(pages)]
+        vpn0 = base >> self._page_bits
+        for i, pfn in enumerate(frames):
+            self._page_table[vpn0 + i] = pfn
+        return base
+
+    def _take_contiguous(self, pages: int) -> list[int]:
+        """Find a run of ``pages`` consecutive free frames."""
+        available = sorted(self._free_frames)
+        run_start = 0
+        for i in range(1, len(available) + 1):
+            if i == len(available) or available[i] != available[i - 1] + 1:
+                if i - run_start >= pages:
+                    chosen = available[run_start : run_start + pages]
+                    chosen_set = set(chosen)
+                    self._free_frames = [
+                        f for f in self._free_frames if f not in chosen_set
+                    ]
+                    return chosen
+                run_start = i
+        raise AllocationError(f"no physically contiguous run of {pages} pages")
+
+    def map_fixed(self, vaddr: int, paddr: int) -> None:
+        """Map a specific virtual page onto a specific physical frame
+        (privileged; used by test fixtures and the ANVIL kernel module)."""
+        if vaddr % self.config.page_bytes or paddr % self.config.page_bytes:
+            raise AllocationError("map_fixed requires page-aligned addresses")
+        pfn = paddr >> self._page_bits
+        if pfn in self._free_frames:
+            self._free_frames.remove(pfn)
+        self._page_table[vaddr >> self._page_bits] = pfn
+
+    # -- translation -----------------------------------------------------------
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual -> physical, raising :class:`TranslationError` if unmapped."""
+        pfn = self._page_table.get(vaddr >> self._page_bits)
+        if pfn is None:
+            raise TranslationError(f"no mapping for virtual address {vaddr:#x}")
+        return (pfn << self._page_bits) | (vaddr & (self.config.page_bytes - 1))
+
+    def is_mapped(self, vaddr: int) -> bool:
+        return (vaddr >> self._page_bits) in self._page_table
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._page_table)
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free_frames)

@@ -1,0 +1,29 @@
+"""Performance event identifiers.
+
+Named after the Intel events the paper's kernel module programs, so that
+ANVIL's code reads like the original (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+
+class Event(Enum):
+    """Countable micro-architectural events."""
+
+    #: Last-level cache misses (demand loads + stores), the stage-1 signal.
+    LONGEST_LAT_CACHE_MISS = auto()
+
+    #: Retired loads that missed the LLC — compared against the total miss
+    #: count to decide whether to sample loads, stores, or both.
+    MEM_LOAD_UOPS_MISC_RETIRED_LLC_MISS = auto()
+
+    #: Retired stores that missed the LLC (complement of the above).
+    MEM_STORE_UOPS_RETIRED_LLC_MISS = auto()
+
+    #: All retired loads.
+    MEM_UOPS_RETIRED_ALL_LOADS = auto()
+
+    #: All retired stores.
+    MEM_UOPS_RETIRED_ALL_STORES = auto()

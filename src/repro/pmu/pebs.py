@@ -1,0 +1,146 @@
+"""PEBS-style precise sampling facilities.
+
+Models the two facilities the paper uses (Section 3.3):
+
+- **Load Latency** (``MEM_TRANS_RETIRED.LOAD_LATENCY``): hardware samples
+  load operations probabilistically; a sampled load whose latency exceeds
+  a programmable threshold is tagged with its data virtual address, data
+  source, and latency.  ANVIL "set[s] the clock cycle value to match
+  last-level cache miss latency so that we only sample loads that miss in
+  the L3 cache".
+
+- **Precise Store** (``MEM_TRANS_RETIRED.PRECISE_STORE``): samples the
+  virtual address and data source of retiring stores; the data source
+  distinguishes misses.
+
+Sampling is time-paced at ``rate_hz`` (the paper uses 5000 samples/s ≈ 30
+samples per 6 ms window) with deterministic seeded jitter so that a
+perfectly periodic attack loop cannot phase-lock with the sampler.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import PmuError
+from ..mem import MemoryAccess
+
+
+class DataSource(Enum):
+    """Where a sampled operation's data came from."""
+
+    L1 = "L1"
+    L2 = "L2"
+    L3 = "L3"
+    DRAM = "DRAM"
+
+    @classmethod
+    def of_level(cls, level: str) -> "DataSource":
+        return cls(level)
+
+
+@dataclass(frozen=True)
+class PebsRecord:
+    """One PEBS sample: the fields the paper's detector consumes."""
+
+    vaddr: int
+    data_source: DataSource
+    latency_cycles: int
+    is_store: bool
+    time_cycles: int
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """PEBS programming."""
+
+    rate_hz: float = 5000.0
+    latency_threshold_cycles: int = 40  # just below an LLC hit+miss boundary
+    sample_loads: bool = True
+    sample_stores: bool = False
+    jitter: float = 0.4  # +-20% interval jitter
+    seed: int = 7
+    #: Once a sample is due ("armed"), skip each eligible op with this
+    #: probability before taking one.  0 = take the first eligible op.
+    #: Nonzero values model multi-core PEBS fairness: ops from different
+    #: cores retire interleaved, and hardware does not favour whichever
+    #: stream happens to be offered first at equal timestamps.
+    arm_skip_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise PmuError("sampling rate must be positive")
+        if not (self.sample_loads or self.sample_stores):
+            raise PmuError("sampler must observe loads, stores, or both")
+        if not 0 <= self.jitter < 1:
+            raise PmuError("jitter must be in [0, 1)")
+        if not 0 <= self.arm_skip_probability < 1:
+            raise PmuError("arm_skip_probability must be in [0, 1)")
+
+
+class PebsSampler:
+    """Time-paced sampler over the stream of memory accesses."""
+
+    def __init__(self, config: SamplerConfig, freq_hz: float) -> None:
+        self.config = config
+        self._interval = freq_hz / config.rate_hz  # cycles between samples
+        self._rng = random.Random(config.seed)
+        self._next_sample_at = self._jittered(0.0)
+        self.records: list[PebsRecord] = []
+        self.enabled = False
+        self.total_samples = 0
+
+    def _jittered(self, base: float) -> float:
+        j = self.config.jitter
+        scale = 1.0 + j * (self._rng.random() - 0.5)
+        return base + self._interval * scale
+
+    def enable(self, time_cycles: int) -> None:
+        self.enabled = True
+        self._next_sample_at = self._jittered(float(time_cycles))
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def drain(self) -> list[PebsRecord]:
+        """Read and clear the PEBS buffer."""
+        records, self.records = self.records, []
+        return records
+
+    def offer(self, access: MemoryAccess, time_cycles: int) -> PebsRecord | None:
+        """Present one retiring memory operation to the sampler."""
+        if not self.enabled:
+            return None
+        if access.is_store:
+            if not self.config.sample_stores:
+                return None
+        elif not self.config.sample_loads:
+            return None
+        if time_cycles < self._next_sample_at:
+            return None
+        # Loads below the latency threshold are tagged but not recorded.
+        if not access.is_store and (
+            access.latency_cycles < self.config.latency_threshold_cycles
+        ):
+            return None
+        # Stores are filtered by data source instead (misses only).
+        if access.is_store and not access.llc_miss:
+            return None
+        # Armed: break ties between interleaved streams probabilistically.
+        if self.config.arm_skip_probability and (
+            self._rng.random() < self.config.arm_skip_probability
+        ):
+            return None
+        record = PebsRecord(
+            vaddr=access.vaddr,
+            data_source=DataSource.of_level(access.level),
+            latency_cycles=access.latency_cycles,
+            is_store=access.is_store,
+            time_cycles=time_cycles,
+        )
+        self.records.append(record)
+        self.total_samples += 1
+        self._next_sample_at = self._jittered(float(time_cycles))
+        return record

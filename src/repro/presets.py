@@ -1,0 +1,83 @@
+"""Ready-made machine configurations.
+
+- :func:`paper_machine` — the paper's testbed: 2.6 GHz Sandy Bridge-class
+  core, 3 MB 12-way Bit-PLRU LLC, 4 GB DDR3 module whose weakest row flips
+  at 220K disturbance units (Table 1 calibration).
+- :func:`small_machine` — a scaled-down module (64 MB, low flip threshold)
+  with the *same* cache hierarchy and mechanisms, for fast tests and
+  examples.  Rowhammer dynamics are identical, just quicker to simulate.
+"""
+
+from __future__ import annotations
+
+from .dram import DisturbanceConfig, DramConfig, DramTimings, ddr3_4gb
+from .mem import MemorySystemConfig
+from .sim import Machine, MachineConfig
+from .units import Clock
+
+
+def paper_machine(
+    clflush_allowed: bool = True,
+    pagemap_restricted: bool = False,
+    refresh_scale: float = 1.0,
+    threshold_min: int = 220_000,
+    seed: int = 0,
+) -> Machine:
+    """The i5-2540M + 4 GB DDR3 testbed of the paper.
+
+    ``refresh_scale=2`` applies the doubled-refresh BIOS mitigation
+    (32 ms retention).
+    """
+    timings = DramTimings().scaled_refresh(refresh_scale)
+    dram = ddr3_4gb().with_timings(timings).with_disturbance(
+        DisturbanceConfig(threshold_min=threshold_min, seed=seed or 0x5EED)
+    )
+    memory = MemorySystemConfig(
+        dram=dram,
+        clflush_allowed=clflush_allowed,
+        pagemap_restricted=pagemap_restricted,
+        vm_seed=42 + seed,
+    )
+    return Machine(MachineConfig(clock=Clock(), memory=memory))
+
+
+def small_machine(
+    threshold_min: int = 4_000,
+    clflush_allowed: bool = True,
+    pagemap_restricted: bool = False,
+    refresh_scale: float = 1.0,
+    retention_ms: float | None = None,
+    seed: int = 0,
+    placement: str = "scrambled",
+    max_flips_per_row: int = 8,
+) -> Machine:
+    """A 64 MB module (1 rank x 4 banks x 2048 rows) with a low flip
+    threshold, for fast unit/integration tests.
+
+    ``max_flips_per_row`` can be raised for exploit studies: heavily
+    hammered rows on real modules exhibit dozens of flippable cells.
+    """
+    timings = DramTimings()
+    if retention_ms is not None:
+        timings = DramTimings(retention_ms=retention_ms)
+    timings = timings.scaled_refresh(refresh_scale)
+    dram = DramConfig(
+        ranks=1,
+        banks_per_rank=4,
+        rows_per_bank=2048,
+        row_bytes=8192,
+        timings=timings,
+        disturbance=DisturbanceConfig(
+            threshold_min=threshold_min,
+            seed=seed or 0x5EED,
+            max_flips_per_row=max_flips_per_row,
+        ),
+    )
+    memory = MemorySystemConfig(
+        dram=dram,
+        clflush_allowed=clflush_allowed,
+        pagemap_restricted=pagemap_restricted,
+        vm_seed=42 + seed,
+        page_placement=placement,
+    )
+    return Machine(MachineConfig(clock=Clock(), memory=memory))

@@ -1,0 +1,16 @@
+"""Cache side channels built on the CLFLUSH-free eviction primitive.
+
+Section 2.2 closes with: "the technique used in the CLFLUSH-free
+rowhammering attack can be used in other attacks that need to flush the
+cache at specific addresses.  For example the Flush+Reload cache
+side-channel attack relies on the CLFLUSH instruction.  Our CLFLUSH-free
+cache flushing method can extend this attack to situations where the
+CLFLUSH instruction is not available (e.g., JavaScript)."
+
+:class:`~repro.sidechannel.evict_reload.EvictReloadSpy` implements that
+Evict+Reload channel on the simulated machine.
+"""
+
+from .evict_reload import EvictReloadSpy, SharedSecretVictim
+
+__all__ = ["EvictReloadSpy", "SharedSecretVictim"]

@@ -1,0 +1,208 @@
+"""Window-level ("epoch") model for long-horizon overhead studies.
+
+The cycle-level machine is exact but too slow to run seconds of SPEC-class
+traffic, so the Figure 3/4 and Table 4/5 experiments use this model.  It
+simulates ANVIL's control loop window by window:
+
+- per stage-1 window, draw the benchmark's LLC miss count from its
+  profile (lognormal with optional row-concentrated "hot phases") and
+  apply the threshold test;
+- per stage-2 window, draw ~``rate*ts`` PEBS samples from the profile's
+  row-locality distribution and run the *same*
+  :func:`repro.core.sampler.analyze_row_samples` the kernel module uses;
+- accumulate the detector's overhead cycles (stage-1 bookkeeping, PEBS
+  programming, per-sample PMI cost, selective-refresh reads) against the
+  elapsed window time.
+
+Since every benign detection on a benign workload is by definition a
+false positive, the model directly yields Table 4/5's superfluous-refresh
+rates and Figure 3/4's normalized execution times.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.config import AnvilConfig
+from ..core.sampler import RowKey, analyze_row_samples
+from ..dram.config import DramTimings
+from ..units import Clock
+from ..workloads.spec import SpecProfile, window_misses
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """Outcome of one modelled run."""
+
+    benchmark: str
+    config_name: str
+    horizon_s: float
+    stage1_windows: int
+    stage1_triggers: int
+    stage2_windows: int
+    false_detections: int
+    superfluous_refreshes: int
+    overhead_cycles: int
+    total_cycles: int
+    dram_refresh_penalty: float  # additional fractional time from refresh
+
+    @property
+    def trigger_fraction(self) -> float:
+        return self.stage1_triggers / self.stage1_windows if self.stage1_windows else 0.0
+
+    @property
+    def fp_refreshes_per_sec(self) -> float:
+        return self.superfluous_refreshes / self.horizon_s
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def normalized_time(self) -> float:
+        """Execution time normalized to the unprotected 64 ms baseline."""
+        return 1.0 + self.overhead_fraction + self.dram_refresh_penalty
+
+
+def refresh_duty(timings: DramTimings) -> float:
+    """Fraction of device time consumed by refresh commands."""
+    return timings.trfc_ns / timings.trefi_ns
+
+
+def double_refresh_normalized_time(
+    profile: SpecProfile,
+    base: DramTimings | None = None,
+    factor: float = 2.0,
+) -> float:
+    """Figure 3's "Double Refresh" bar: the workload's DRAM-bound time
+    grows by the extra refresh duty."""
+    base = base or DramTimings()
+    scaled = base.scaled_refresh(factor)
+    extra_duty = refresh_duty(scaled) - refresh_duty(base)
+    return 1.0 + profile.dram_time_fraction * extra_duty
+
+
+class EpochModel:
+    """ANVIL's control loop against one benchmark profile."""
+
+    def __init__(
+        self,
+        profile: SpecProfile,
+        config: AnvilConfig | None = None,
+        config_name: str = "ANVIL-baseline",
+        clock: Clock | None = None,
+        timings: DramTimings | None = None,
+        banks: int = 16,
+        refresh_factor: float = 1.0,
+        seed: int = 1,
+    ) -> None:
+        self.profile = profile
+        self.config = config or AnvilConfig.baseline()
+        self.config_name = config_name
+        self.clock = clock or Clock()
+        self.timings = timings or DramTimings()
+        self.banks = banks
+        self.refresh_factor = refresh_factor
+        self.seed = seed
+
+    # -- sampling helpers ---------------------------------------------------------
+
+    def _bank_of_row(self, row: int) -> int:
+        # Sequential rows interleave across banks before advancing the
+        # in-bank row index (bank bits sit below row bits).
+        return row % self.banks
+
+    def _draw_rows(self, rng: random.Random, n_samples: int, hot: bool) -> list[RowKey]:
+        """One window's sampled rows.
+
+        Scattered (non-hot) samples walk the window's touched rows in time
+        order, so they land on near-unique rows — a streaming workload's
+        misses never revisit a row, and a huge-footprint pointer chaser's
+        samples rarely coincide.  Hot-phase samples concentrate on the
+        profile's few hot rows, which is what can (rarely) look like an
+        attack.
+        """
+        profile = self.profile
+        rows: list[RowKey] = []
+        hot_set = [rng.randrange(1 << 20) for _ in range(profile.hot_rows)]
+        window_base = rng.randrange(1 << 20)
+        spacing = max(1.0, profile.touched_rows / max(1, n_samples))
+        position = rng.random() * spacing
+        for _ in range(n_samples):
+            if hot and rng.random() < profile.hot_fraction:
+                row = rng.choice(hot_set)
+            else:
+                row = window_base + int(position)
+                position += spacing * (0.5 + rng.random())
+            rows.append((0, self._bank_of_row(row), row))
+        return rows
+
+    # -- the run --------------------------------------------------------------------
+
+    def run(self, horizon_s: float = 10.0) -> EpochResult:
+        config = self.config
+        clock = self.clock
+        rng = random.Random(
+            (self.seed * 0x9E3779B1) ^ hash(self.profile.name) & 0xFFFFFFFF
+        )
+        tc_cycles = clock.cycles_from_ms(config.tc_ms)
+        ts_cycles = clock.cycles_from_ms(config.ts_ms)
+        samples_per_window = max(1, round(config.sampling_rate_hz * config.ts_ms / 1e3))
+        refresh_read_cycles = 150
+
+        horizon_cycles = clock.cycles_from_s(horizon_s)
+        total_cycles = 0
+        overhead = 0
+        stage1_windows = stage1_triggers = stage2_windows = 0
+        false_detections = superfluous = 0
+
+        while total_cycles < horizon_cycles:
+            # -- stage 1 ---------------------------------------------------------
+            hot = rng.random() < self.profile.hot_phase_prob
+            misses = window_misses(self.profile, config.tc_ms, rng, hot)
+            total_cycles += tc_cycles
+            overhead += config.stage1_cost_cycles
+            stage1_windows += 1
+            if misses < config.llc_miss_threshold:
+                continue
+            stage1_triggers += 1
+
+            # -- stage 2 ---------------------------------------------------------
+            hot2 = hot or rng.random() < self.profile.hot_phase_prob
+            misses2 = window_misses(self.profile, config.ts_ms, rng, hot2)
+            rows = self._draw_rows(rng, samples_per_window, hot2)
+            total_cycles += ts_cycles
+            overhead += 2 * config.stage2_setup_cost_cycles
+            overhead += len(rows) * config.pmi_cost_cycles
+            stage2_windows += 1
+
+            analysis = analyze_row_samples(rows, misses2, config)
+            if analysis.attack_detected:
+                false_detections += 1
+                victims = 2 * len(analysis.aggressors)  # radius-1 neighbours
+                superfluous += victims
+                overhead += victims * refresh_read_cycles
+
+        base = DramTimings()
+        if self.refresh_factor != 1.0:
+            penalty = self.profile.dram_time_fraction * (
+                refresh_duty(base.scaled_refresh(self.refresh_factor))
+                - refresh_duty(base)
+            )
+        else:
+            penalty = 0.0
+
+        return EpochResult(
+            benchmark=self.profile.name,
+            config_name=self.config_name,
+            horizon_s=horizon_s,
+            stage1_windows=stage1_windows,
+            stage1_triggers=stage1_triggers,
+            stage2_windows=stage2_windows,
+            false_detections=false_detections,
+            superfluous_refreshes=superfluous,
+            overhead_cycles=overhead,
+            total_cycles=total_cycles,
+            dram_refresh_penalty=penalty,
+        )

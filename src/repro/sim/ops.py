@@ -1,0 +1,62 @@
+"""Memory-operation encoding for workload streams.
+
+Operations are plain tuples for speed (millions are executed per
+experiment): ``(kind, operand)`` where ``kind`` is one of the single-char
+constants below.  The helper constructors are the public way to build them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+LOAD = "L"
+STORE = "S"
+CLFLUSH = "F"
+MFENCE = "M"
+COMPUTE = "C"
+PAIR_LOAD = "P"
+
+#: One operation: (kind, operand).  The operand is a virtual address for
+#: LOAD/STORE/CLFLUSH, a cycle count for COMPUTE, 0 for MFENCE, and an
+#: (addr_a, addr_b) tuple for PAIR_LOAD.
+Op = Tuple[str, int]
+
+#: A workload is any iterator of Ops.
+OpStream = Iterator[Op]
+
+
+def load(vaddr: int) -> Op:
+    """A load from ``vaddr``."""
+    return (LOAD, vaddr)
+
+
+def store(vaddr: int) -> Op:
+    """A store to ``vaddr``."""
+    return (STORE, vaddr)
+
+
+def clflush(vaddr: int) -> Op:
+    """Flush the cache line containing ``vaddr``."""
+    return (CLFLUSH, vaddr)
+
+
+def mfence() -> Op:
+    """A memory fence (ordering cost only)."""
+    return (MFENCE, 0)
+
+
+def compute(cycles: int) -> Op:
+    """``cycles`` of non-memory work."""
+    return (COMPUTE, cycles)
+
+
+def pair_load(vaddr_a: int, vaddr_b: int) -> Op:
+    """Two *independent* loads issued together.
+
+    Models the memory-level parallelism of an out-of-order core: the two
+    loads overlap, so the pair costs ``max`` of the two latencies rather
+    than their sum.  The CLFLUSH-free attack interleaves its two eviction
+    sets this way (the paper's 880-cycle/338 ns iteration estimate is only
+    reachable with the sets overlapping).
+    """
+    return (PAIR_LOAD, (vaddr_a, vaddr_b))

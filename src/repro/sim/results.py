@@ -1,0 +1,27 @@
+"""Run-result records for machine executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunResult:
+    """Summary of one :meth:`repro.sim.machine.Machine.run` call."""
+
+    start_cycles: int
+    end_cycles: int
+    ops_executed: int
+    loads: int = 0
+    stores: int = 0
+    clflushes: int = 0
+    llc_misses: int = 0
+    dram_accesses: int = 0
+    new_flips: int = 0
+    overhead_cycles: int = 0
+    stopped_by: str = "exhausted"  # "exhausted" | "max_cycles" | "until"
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycles - self.start_cycles

@@ -1,0 +1,83 @@
+"""Operation-trace recording and replay.
+
+A trace is a plain-text file, one operation per line::
+
+    L 7f0000001040        # load vaddr
+    S 7f0000002080        # store vaddr
+    F 7f0000001040        # clflush vaddr
+    M                     # mfence
+    C 36                  # compute cycles
+    P 7f0000001040 7f0000003100   # paired loads
+
+Traces decouple workload generation from simulation: capture an attack or
+a generator once, then replay it against differently configured machines
+(defense grids, parameter sweeps) with identical access sequences.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from ..errors import SimulationError
+from .ops import CLFLUSH, COMPUTE, LOAD, MFENCE, PAIR_LOAD, STORE, Op
+
+
+def format_op(op: Op) -> str:
+    """One trace line for ``op`` (without newline)."""
+    kind, operand = op
+    if kind in (LOAD, STORE, CLFLUSH):
+        return f"{kind} {operand:x}"
+    if kind == MFENCE:
+        return MFENCE
+    if kind == COMPUTE:
+        return f"{kind} {operand}"
+    if kind == PAIR_LOAD:
+        a, b = operand
+        return f"{kind} {a:x} {b:x}"
+    raise SimulationError(f"cannot serialise op kind {kind!r}")
+
+
+def parse_op(line: str) -> Op:
+    """Inverse of :func:`format_op`; raises on malformed lines."""
+    parts = line.split()
+    if not parts:
+        raise SimulationError("empty trace line")
+    kind = parts[0]
+    try:
+        if kind in (LOAD, STORE, CLFLUSH):
+            return (kind, int(parts[1], 16))
+        if kind == MFENCE:
+            return (kind, 0)
+        if kind == COMPUTE:
+            return (kind, int(parts[1]))
+        if kind == PAIR_LOAD:
+            return (kind, (int(parts[1], 16), int(parts[2], 16)))
+    except (IndexError, ValueError) as exc:
+        raise SimulationError(f"malformed trace line {line!r}") from exc
+    raise SimulationError(f"unknown op kind in trace line {line!r}")
+
+
+def write_trace(path: str | Path, ops: Iterable[Op], limit: int | None = None) -> int:
+    """Write up to ``limit`` operations to ``path``; returns ops written."""
+    count = 0
+    with open(path, "w") as handle:
+        for op in ops:
+            handle.write(format_op(op) + "\n")
+            count += 1
+            if limit is not None and count >= limit:
+                break
+    return count
+
+
+def read_trace(path: str | Path) -> Iterator[Op]:
+    """Stream operations back from a trace file (comments allowed)."""
+    with open(path) as handle:
+        yield from iter_trace(handle)
+
+
+def iter_trace(handle: TextIO) -> Iterator[Op]:
+    for raw in handle:
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            yield parse_op(line)

@@ -1,0 +1,70 @@
+"""Unit helpers: sizes, times, and cycle conversion.
+
+The whole simulator keeps time in integer *CPU cycles*.  Converting to and
+from wall-clock units requires a frequency, so the conversion helpers live
+in :class:`Clock`, which every :class:`repro.sim.machine.Machine` owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class Clock:
+    """Converts between cycles and wall-clock time at a fixed frequency.
+
+    The paper's test machine is an Intel i5-2540M at a nominal 2.6 GHz
+    (Section 2.2), which is the default here.
+    """
+
+    freq_hz: float = 2.6e9
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ConfigError(f"frequency must be positive, got {self.freq_hz}")
+
+    def cycles_from_ns(self, ns: float) -> int:
+        return int(round(ns * self.freq_hz / NS_PER_S))
+
+    def cycles_from_us(self, us: float) -> int:
+        return self.cycles_from_ns(us * 1_000)
+
+    def cycles_from_ms(self, ms: float) -> int:
+        return self.cycles_from_ns(ms * NS_PER_MS)
+
+    def cycles_from_s(self, s: float) -> int:
+        return self.cycles_from_ns(s * NS_PER_S)
+
+    def ns_from_cycles(self, cycles: int) -> float:
+        return cycles * NS_PER_S / self.freq_hz
+
+    def us_from_cycles(self, cycles: int) -> float:
+        return self.ns_from_cycles(cycles) / 1_000
+
+    def ms_from_cycles(self, cycles: int) -> float:
+        return self.ns_from_cycles(cycles) / NS_PER_MS
+
+    def s_from_cycles(self, cycles: int) -> float:
+        return self.ns_from_cycles(cycles) / NS_PER_S
+
+
+def is_power_of_two(n: int) -> bool:
+    """True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_exact(n: int) -> int:
+    """Return log2(n) for an exact power of two, else raise ConfigError."""
+    if not is_power_of_two(n):
+        raise ConfigError(f"{n} is not a power of two")
+    return n.bit_length() - 1

@@ -1,0 +1,152 @@
+"""Background load for the heavy-load detection experiments.
+
+Section 4.2: "To emulate heavy load, we run the rowhammering applications
+along with memory-intensive applications (mcf, libquantum and omnetpp
+running at the same time)".
+
+On a multi-core machine those co-runners execute on *other* cores: they
+do not slow the attack loop directly, but their LLC misses land in the
+shared miss counters (raising the totals the locality analysis divides
+by) and their loads/stores are PEBS-sampled by *their own core's*
+facility, so the pooled sample set the detector analyses contains both
+streams.  :class:`BackgroundMix` models exactly that: co-runner accesses
+are injected through the shared memory system interleaved with the
+foreground's (via a machine access hook, topped up by a timer when the
+foreground is compute-bound) and fed to the PMU's auxiliary-core sampler.
+
+The default ``scale`` reflects the paper's testbed: an i5-2540M has two
+cores, so the three co-runners time-share one core — and contend with the
+attack for the shared LLC and memory channel — leaving each at roughly a
+quarter of its standalone miss rate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..mem import MemoryAccess
+from ..sim.machine import Machine
+from ..sim.ops import CLFLUSH, COMPUTE, MFENCE, Op, STORE
+from .spec import SpecWorkload, spec_profile
+
+
+def interleave(streams: list[Iterator[Op]], weights: list[float], seed: int = 0) -> Iterator[Op]:
+    """Merge op streams by weighted random choice (single-core timesharing)."""
+    rng = random.Random(seed)
+    while True:
+        (stream,) = rng.choices(streams, weights=weights)
+        yield next(stream)
+
+
+class BackgroundMix:
+    """Co-runner traffic injected into the shared LLC/DRAM/PMU.
+
+    ``benchmarks`` defaults to the paper's heavy-load trio.  ``scale``
+    multiplies each co-runner's standalone miss rate (0.25 ~= three
+    co-runners time-sharing the second core of the paper's dual-core
+    testbed while contending for its memory system).
+    """
+
+    HEAVY_TRIO = ("mcf", "libquantum", "omnetpp")
+
+    def __init__(
+        self,
+        benchmarks: tuple[str, ...] = HEAVY_TRIO,
+        scale: float = 0.25,
+        tick_ms: float = 0.05,
+        seed: int = 99,
+        buffer_cap_bytes: int = 8 << 20,
+    ) -> None:
+        self.benchmarks = benchmarks
+        self.scale = scale
+        self.tick_ms = tick_ms
+        self.seed = seed
+        self.buffer_cap_bytes = buffer_cap_bytes
+        self.injected_ops = 0
+        self._machine: Machine | None = None
+        self._streams: list[Iterator[Op]] = []
+        self._ops_per_cycle = 0.0
+        self._pending = 0.0
+        self._last_cycles = 0
+        self._running = False
+        self._injecting = False
+        self._rng = random.Random(seed)
+
+    def attach(self, machine: Machine) -> None:
+        """Prepare co-runner buffers and start interleaved injection."""
+        self._machine = machine
+        workloads = []
+        for i, name in enumerate(self.benchmarks):
+            profile = spec_profile(name)
+            workload = SpecWorkload(
+                profile, seed=self.seed + i,
+                stream_limit_bytes=self.buffer_cap_bytes,
+            )
+            workload.prepare(machine)
+            workloads.append(workload)
+            self._streams.append(workload.ops())
+        # Inject enough *memory* ops that misses land at the scaled rate;
+        # the SpecWorkload streams carry the right hit/miss mix, so the op
+        # rate is (misses per ms / miss fraction).
+        ops_per_ms = self.scale * sum(
+            w.profile.misses_per_ms / max(1e-6, w.miss_fraction) for w in workloads
+        )
+        self._ops_per_cycle = ops_per_ms / machine.clock.cycles_from_ms(1.0)
+        self._last_cycles = machine.cycles
+        self._running = True
+        machine.pmu.enable_aux_core()  # co-runners retire on another core
+        machine.add_access_hook(self._on_foreground_access)
+        machine.schedule_in_ms(self.tick_ms, self._tick)
+
+    def detach(self) -> None:
+        self._running = False
+        if self._machine is not None:
+            try:
+                self._machine.remove_access_hook(self._on_foreground_access)
+            except ValueError:
+                pass
+
+    # -- injection ------------------------------------------------------------
+
+    def _on_foreground_access(self, access: MemoryAccess, time_cycles: int) -> None:
+        del access
+        self._inject_up_to(time_cycles)
+
+    def _tick(self, machine: Machine) -> None:
+        """Catch-up injector for compute-bound foreground phases."""
+        if not self._running:
+            return
+        self._inject_up_to(machine.cycles)
+        machine.schedule_in_ms(self.tick_ms, self._tick)
+
+    def _inject_up_to(self, time_cycles: int) -> None:
+        """Inject the co-runner ops that retired since the last call."""
+        if not self._running or self._injecting:
+            return
+        machine = self._machine
+        assert machine is not None
+        elapsed = time_cycles - self._last_cycles
+        self._last_cycles = time_cycles
+        if elapsed <= 0:
+            return
+        self._pending += elapsed * self._ops_per_cycle
+        count = int(self._pending)
+        if count <= 0:
+            return
+        self._pending -= count
+        self._injecting = True  # co-runner accesses must not re-enter
+        try:
+            memsys = machine.memory
+            pmu = machine.pmu
+            for _ in range(count):
+                stream = self._rng.choice(self._streams)
+                op = next(stream)
+                while op[0] in (COMPUTE, MFENCE, CLFLUSH):
+                    op = next(stream)  # co-runner compute costs no shared time
+                kind, vaddr = op
+                record = memsys.access(vaddr, time_cycles, is_store=(kind == STORE))
+                pmu.on_access_other_core(record, time_cycles)
+                self.injected_ops += 1
+        finally:
+            self._injecting = False

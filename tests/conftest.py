@@ -1,0 +1,44 @@
+"""Shared fixtures: small, fast machines with the full mechanism set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AnvilConfig
+from repro.presets import small_machine
+
+
+@pytest.fixture
+def machine():
+    """A 64 MB-module machine with default (scrambled) page placement."""
+    return small_machine()
+
+
+@pytest.fixture
+def seq_machine():
+    """Same, but with sequential page placement for address-exact tests."""
+    return small_machine(placement="sequential")
+
+
+@pytest.fixture
+def fast_anvil_config():
+    """ANVIL scaled to the small machine: 1 ms windows, matching threshold.
+
+    The small machine's weak rows flip at ~30K units; the config's assumed
+    attack calibration matches, exactly as the paper's Table 2 parameters
+    match its Table 1 measurement.
+    """
+    return AnvilConfig(
+        llc_miss_threshold=3_300,
+        tc_ms=1.0,
+        ts_ms=1.0,
+        sampling_rate_hz=50_000,
+        assumed_flip_accesses=30_000,
+    )
+
+
+@pytest.fixture
+def attack_machine():
+    """Small machine with a 30K-unit flip threshold (pairs with
+    ``fast_anvil_config``)."""
+    return small_machine(threshold_min=30_000)

@@ -1,0 +1,111 @@
+"""End-to-end ANVIL protection tests: the paper's central claims at
+small-machine scale.
+
+The small machine flips at 30K disturbance units; the matched ANVIL
+config uses 1 ms windows so detection (~2 ms) beats the attack's
+time-to-flip (~4-5 ms), preserving the paper's ratio of detection latency
+(12 ms) to attack speed (15+ ms).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import ClflushFreeAttack, DoubleSidedClflushAttack
+from repro.core import AnvilModule
+from repro.units import MB
+
+BUF = 16 * MB
+
+
+@pytest.mark.parametrize("attack_cls", [DoubleSidedClflushAttack, ClflushFreeAttack])
+def test_anvil_prevents_all_flips(attack_machine, fast_anvil_config, attack_cls):
+    """Table 3's bottom line: zero bit flips under every attack."""
+    anvil = AnvilModule(attack_machine, fast_anvil_config)
+    anvil.install()
+    attack = attack_cls(buffer_bytes=BUF)
+    result = attack.run(attack_machine, max_ms=20, stop_on_flip=False)
+    assert result.flips == 0
+    assert anvil.stats.detection_count > 0
+
+
+def test_detection_faster_than_flip(attack_machine, fast_anvil_config):
+    """Detection latency must beat the attack's unprotected time-to-flip."""
+    unprotected_flip_ms = 4.0  # 30K units at ~137 ns/access, double-sided
+    anvil = AnvilModule(attack_machine, fast_anvil_config)
+    anvil.install()
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    attack.run(attack_machine, max_ms=10, stop_on_flip=False)
+    first = anvil.first_detection_ms()
+    assert first is not None and first < unprotected_flip_ms
+
+
+def test_detected_aggressors_are_the_attack_rows(attack_machine, fast_anvil_config):
+    anvil = AnvilModule(attack_machine, fast_anvil_config)
+    anvil.install()
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    attack.run(attack_machine, max_ms=6, stop_on_flip=False)
+    true_rows = {(c.rank, c.bank, c.row) for c in attack.aggressor_coords}
+    detected = {a.row_key for d in anvil.stats.detections for a in d.aggressors}
+    assert true_rows <= detected
+
+
+def test_victim_rows_get_refreshed(attack_machine, fast_anvil_config):
+    anvil = AnvilModule(attack_machine, fast_anvil_config)
+    anvil.install()
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    attack.run(attack_machine, max_ms=6, stop_on_flip=False)
+    victim = attack.victim_coords[0]
+    victim_key = (victim.rank, victim.bank, victim.row)
+    refreshed = {r for d in anvil.stats.detections for r in d.refreshed_rows}
+    assert victim_key in refreshed
+
+
+def test_detection_repeats_across_refresh_cycles(attack_machine, fast_anvil_config):
+    """An ongoing attack is re-detected every tc+ts cycle, keeping victims
+    refreshed indefinitely."""
+    anvil = AnvilModule(attack_machine, fast_anvil_config)
+    anvil.install()
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    attack.run(attack_machine, max_ms=20, stop_on_flip=False)
+    assert anvil.stats.detection_count >= 5
+    report = anvil.report()
+    assert report.refreshes_per_64ms > 0
+
+
+def test_selective_refresh_rate_too_low_to_hammer(attack_machine, fast_anvil_config):
+    """Section 3.3: the selective refresh rate must stay far below the
+    minimum hammering rate so the mechanism cannot be turned into an
+    attack primitive."""
+    anvil = AnvilModule(attack_machine, fast_anvil_config)
+    anvil.install()
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    result = attack.run(attack_machine, max_ms=20, stop_on_flip=False)
+    elapsed_s = result.elapsed_ms / 1e3
+    refreshes_per_row_per_s = anvil.stats.selective_refreshes / max(
+        1, len({r for d in anvil.stats.detections for r in d.refreshed_rows})
+    ) / elapsed_s
+    min_hammer_rate_per_s = fast_anvil_config.assumed_flip_accesses / 0.064
+    assert refreshes_per_row_per_s < 0.01 * min_hammer_rate_per_s
+
+
+def test_anvil_report_fields(attack_machine, fast_anvil_config):
+    anvil = AnvilModule(attack_machine, fast_anvil_config, name="test-config")
+    anvil.install()
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    attack.run(attack_machine, max_ms=8, stop_on_flip=False)
+    report = anvil.report()
+    assert report.config_name == "test-config"
+    assert report.detections == anvil.stats.detection_count
+    assert report.elapsed_ms > 0
+    assert 0 < report.stage1_trigger_fraction <= 1
+    assert report.samples_collected > 0
+
+
+def test_anvil_uninstall_lets_attack_succeed(attack_machine, fast_anvil_config):
+    anvil = AnvilModule(attack_machine, fast_anvil_config)
+    anvil.install()
+    anvil.uninstall()
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    result = attack.run(attack_machine, max_ms=20)
+    assert result.flipped

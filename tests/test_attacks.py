@@ -1,0 +1,167 @@
+"""End-to-end attack tests on unprotected and partially mitigated machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (
+    ClflushFreeAttack,
+    DoubleSidedClflushAttack,
+    SingleSidedClflushAttack,
+)
+from repro.errors import ClflushRestrictedError
+from repro.presets import small_machine
+from repro.units import MB
+
+THRESHOLD = 4_000  # fast-flipping test module
+BUF = 16 * MB
+
+
+def run_attack(attack_cls, machine=None, max_ms=30, **kwargs):
+    machine = machine or small_machine(threshold_min=THRESHOLD)
+    attack = attack_cls(buffer_bytes=BUF, **kwargs)
+    result = attack.run(machine, max_ms=max_ms)
+    return machine, attack, result
+
+
+# -- Table 1 behaviours -----------------------------------------------------------
+
+
+def test_double_sided_clflush_flips():
+    machine, attack, result = run_attack(DoubleSidedClflushAttack)
+    assert result.flipped
+    assert result.time_to_first_flip_ms is not None
+
+
+def test_double_sided_min_accesses_near_threshold():
+    """Every counted access disturbs the victim, so the minimum access
+    count equals the victim row's flip threshold (Table 1 calibration)."""
+    machine, attack, result = run_attack(DoubleSidedClflushAttack)
+    assert THRESHOLD * 0.95 <= result.min_row_accesses <= THRESHOLD * 1.3
+
+
+def test_single_sided_needs_roughly_double_accesses():
+    machine, attack, result = run_attack(SingleSidedClflushAttack, max_ms=60)
+    assert result.flipped
+    assert result.min_row_accesses >= 1.7 * THRESHOLD
+
+
+def test_single_sided_slower_than_double_sided():
+    _, _, double = run_attack(DoubleSidedClflushAttack)
+    _, _, single = run_attack(SingleSidedClflushAttack, max_ms=60)
+    assert single.time_to_first_flip_ms > double.time_to_first_flip_ms
+
+
+def test_clflush_free_flips_without_clflush():
+    machine, attack, result = run_attack(ClflushFreeAttack, max_ms=40)
+    assert result.flipped
+    from repro.sim import CLFLUSH
+
+    assert all(op[0] != CLFLUSH for op in attack.iteration_ops())
+
+
+def test_clflush_free_iteration_time_matches_paper_estimate():
+    """~880 cycles = ~338 ns per double-sided hammer iteration (Sec. 2.2)."""
+    machine, attack, result = run_attack(ClflushFreeAttack, max_ms=40)
+    assert result.ns_per_iteration is not None
+    assert 300 <= result.ns_per_iteration <= 420
+
+
+def test_clflush_free_two_misses_per_set_per_iteration():
+    machine, attack, result = run_attack(ClflushFreeAttack, max_ms=40)
+    # 4 DRAM accesses per iteration: aggressor + sacrificial conflict, x2 sets.
+    per_iter = result.total_dram_accesses / result.iterations
+    assert 3.8 <= per_iter <= 4.3
+
+
+def test_attack_victim_is_adjacent_to_aggressors():
+    machine, attack, result = run_attack(DoubleSidedClflushAttack)
+    aggressors = {c.row for c in attack.aggressor_coords}
+    victim = attack.victim_coords[0].row
+    assert aggressors == {victim - 1, victim + 1}
+    flip_row = result.details["first_flip_row_id"]
+    coord = machine.memory.device.coord_of_row_id(flip_row)
+    assert abs(coord.row - victim) <= 2
+
+
+def test_attack_result_reports_llc_misses():
+    _, _, result = run_attack(DoubleSidedClflushAttack)
+    assert result.llc_misses >= result.total_dram_accesses
+
+
+# -- mitigation interactions ----------------------------------------------------------
+
+
+def test_clflush_ban_stops_clflush_attack():
+    machine = small_machine(threshold_min=THRESHOLD, clflush_allowed=False)
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    with pytest.raises(ClflushRestrictedError):
+        attack.run(machine, max_ms=10)
+
+
+def test_clflush_ban_does_not_stop_clflush_free():
+    """The headline Section 2.2 result: banning CLFLUSH is insufficient."""
+    machine = small_machine(threshold_min=THRESHOLD, clflush_allowed=False)
+    attack = ClflushFreeAttack(buffer_bytes=BUF)
+    result = attack.run(machine, max_ms=40)
+    assert result.flipped
+
+
+def test_double_refresh_does_not_stop_fast_attack():
+    """Section 2.1: a 32 ms refresh period still leaves enough time for a
+    double-sided CLFLUSH attack that flips in less than 32 ms."""
+    machine = small_machine(threshold_min=THRESHOLD, refresh_scale=2.0)
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    result = attack.run(machine, max_ms=60)
+    assert result.flipped
+    assert result.time_to_first_flip_ms < 32.0
+
+
+def test_slow_attack_defeated_by_short_retention():
+    """A retention window shorter than the attack's time-to-flip resets
+    the victim before it accumulates enough disturbance."""
+    machine = small_machine(threshold_min=40_000, refresh_scale=16.0)  # 4 ms epochs
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    result = attack.run(machine, max_ms=40)
+    assert not result.flipped
+
+
+def test_restricted_pagemap_blocks_preparation():
+    from repro.errors import PagemapRestrictedError
+
+    machine = small_machine(threshold_min=THRESHOLD, pagemap_restricted=True)
+    attack = ClflushFreeAttack(buffer_bytes=BUF)
+    with pytest.raises(PagemapRestrictedError):
+        attack.prepare(machine)
+
+
+def test_privileged_pagemap_override():
+    machine = small_machine(threshold_min=THRESHOLD, pagemap_restricted=True)
+    attack = ClflushFreeAttack(buffer_bytes=BUF, privileged_pagemap=True)
+    attack.prepare(machine)
+    assert attack.prepared
+
+
+# -- attack framework ----------------------------------------------------------------
+
+
+def test_ops_requires_prepare():
+    attack = DoubleSidedClflushAttack()
+    with pytest.raises(RuntimeError):
+        next(attack.ops())
+
+
+def test_run_without_flip_budget_expires():
+    machine = small_machine(threshold_min=10_000_000)  # effectively unflippable
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    result = attack.run(machine, max_ms=2)
+    assert not result.flipped
+    assert result.elapsed_ms >= 2.0
+
+
+def test_eviction_sets_exposed():
+    machine = small_machine(threshold_min=THRESHOLD)
+    attack = ClflushFreeAttack(buffer_bytes=BUF)
+    attack.prepare(machine)
+    set_x, set_y = attack.eviction_sets
+    assert len(set_x) == len(set_y) == 12

@@ -1,0 +1,124 @@
+"""Memory-controller tests: observers, refresh paths, blocking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import DramConfig, DramCoord, MemoryController
+from repro.dram.config import DisturbanceConfig, DramTimings
+from repro.units import Clock
+
+
+def small_controller(threshold_min=1000) -> MemoryController:
+    return MemoryController(
+        DramConfig(
+            ranks=1, banks_per_rank=4, rows_per_bank=2048, row_bytes=8192,
+            disturbance=DisturbanceConfig(threshold_min=threshold_min, spread=0.0,
+                                          strong_fraction=0.0),
+        ),
+        Clock(),
+    )
+
+
+class RecordingObserver:
+    """Test double for a controller-level defense."""
+
+    def __init__(self, respond_with=()):
+        self.activations = []
+        self.respond_with = list(respond_with)
+
+    def on_activation(self, coord, time_cycles):
+        self.activations.append((coord, time_cycles))
+        return self.respond_with
+
+
+def test_access_decodes_and_reports_coord():
+    ctrl = small_controller()
+    out = ctrl.access(8192 * 7, 20_000)
+    assert out.coord.bank == 3  # 4 banks: address 7 rows of 8K -> bank 3
+    assert out.activated
+
+
+def test_blocking_delay_applied_at_refresh_instant():
+    ctrl = small_controller()
+    out = ctrl.access(0, 0)  # t=0 is inside the refresh command window
+    assert out.blocked_cycles > 0
+    assert out.latency_cycles > out.blocked_cycles
+
+
+def test_no_blocking_outside_refresh_window():
+    ctrl = small_controller()
+    trfc = ctrl.device.refresh_engine.trfc_cycles
+    out = ctrl.access(0, trfc + 100)
+    assert out.blocked_cycles == 0
+
+
+def test_observer_called_on_activation_only():
+    ctrl = small_controller()
+    observer = RecordingObserver()
+    ctrl.add_observer(observer)
+    t = 20_000
+    ctrl.access(0, t)  # activation
+    ctrl.access(64, t + 100)  # row hit
+    assert len(observer.activations) == 1
+
+
+def test_observer_refresh_requests_are_executed():
+    ctrl = small_controller()
+    victim = DramCoord(0, 0, 10, 0)
+    observer = RecordingObserver(respond_with=[victim])
+    ctrl.add_observer(observer)
+    ctrl.access(8192 * 4 * 11, 20_000)  # activate row 11 in bank 0
+    assert ctrl.stats.observer_refreshes == 1
+
+
+def test_remove_observer():
+    ctrl = small_controller()
+    observer = RecordingObserver()
+    ctrl.add_observer(observer)
+    ctrl.remove_observer(observer)
+    ctrl.access(0, 20_000)
+    assert observer.activations == []
+
+
+def test_refresh_row_counts_selective():
+    ctrl = small_controller()
+    ctrl.refresh_row(DramCoord(0, 1, 5, 0), 20_000)
+    assert ctrl.stats.selective_refreshes == 1
+    assert ctrl.device.stats.refreshes_issued == 1
+
+
+def test_refresh_neighbors_covers_radius():
+    ctrl = small_controller()
+    latency = ctrl.refresh_neighbors(DramCoord(0, 0, 100, 0), 20_000, radius=2)
+    assert ctrl.stats.selective_refreshes == 4
+    assert latency > 0
+
+
+def test_refresh_resets_victim_units():
+    ctrl = small_controller()
+    aggressor_paddr = ctrl.mapping.encode(DramCoord(0, 0, 99, 0))
+    other_paddr = ctrl.mapping.encode(DramCoord(0, 0, 500, 0))
+    for i in range(20):
+        ctrl.access(aggressor_paddr, 20_000 + i * 200)
+        ctrl.access(other_paddr, 20_100 + i * 200)
+    device = ctrl.device
+    victim_id = device.row_id(DramCoord(0, 0, 100, 0))
+    epoch = device.refresh_engine.epoch(victim_id, 30_000)
+    assert device.tracker.units(victim_id, epoch) > 0
+    ctrl.refresh_row(DramCoord(0, 0, 100, 0), 30_000)
+    assert device.tracker.units(victim_id, epoch) == 0
+
+
+def test_set_timings_rejected_after_traffic():
+    ctrl = small_controller()
+    ctrl.access(0, 0)
+    with pytest.raises(RuntimeError):
+        ctrl.set_timings(DramTimings().scaled_refresh(2))
+
+
+def test_set_timings_rebuilds_device():
+    ctrl = small_controller()
+    ctrl.set_timings(DramTimings().scaled_refresh(2))
+    assert ctrl.config.timings.retention_ms == 32.0
+    assert ctrl.device.refresh_engine.retention_cycles == Clock().cycles_from_ms(32)

@@ -1,0 +1,59 @@
+"""ANVIL configuration tests (Table 2 and Section 4.5 presets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AnvilConfig
+from repro.errors import ConfigError
+
+
+def test_baseline_matches_table2():
+    config = AnvilConfig.baseline()
+    assert config.llc_miss_threshold == 20_000
+    assert config.tc_ms == 6.0
+    assert config.ts_ms == 6.0
+    assert config.sampling_rate_hz == 5000.0
+
+
+def test_light_halves_threshold():
+    config = AnvilConfig.light()
+    assert config.llc_miss_threshold == 10_000
+    assert config.tc_ms == 6.0
+    assert config.assumed_flip_accesses == 110_000
+
+
+def test_heavy_shrinks_windows():
+    config = AnvilConfig.heavy()
+    assert config.tc_ms == 2.0
+    assert config.ts_ms == 2.0
+    assert config.llc_miss_threshold == 20_000
+
+
+def test_min_hammer_rate_derivation():
+    """Section 4.2: 220K accesses per 64 ms refresh period means at least
+    ~20.6K within any 6 ms window — the basis of the 20K threshold."""
+    config = AnvilConfig.baseline()
+    assert 20_000 <= config.min_hammer_accesses_per_window <= 21_000
+    assert config.hot_row_accesses == pytest.approx(
+        0.5 * config.min_hammer_accesses_per_window
+    )
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ConfigError):
+        AnvilConfig(llc_miss_threshold=0)
+    with pytest.raises(ConfigError):
+        AnvilConfig(tc_ms=-1)
+    with pytest.raises(ConfigError):
+        AnvilConfig(hot_row_fraction=0)
+    with pytest.raises(ConfigError):
+        AnvilConfig(victim_radius=0)
+    with pytest.raises(ConfigError):
+        AnvilConfig(load_only_fraction=0.1, store_only_fraction=0.9)
+
+
+def test_config_frozen():
+    config = AnvilConfig.baseline()
+    with pytest.raises(AttributeError):
+        config.tc_ms = 1.0  # type: ignore[misc]

@@ -1,0 +1,160 @@
+"""ANVIL stage-2 locality-analysis tests (pure function)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AnvilConfig, analyze_row_samples
+
+
+def cfg(**kwargs) -> AnvilConfig:
+    defaults = dict(
+        llc_miss_threshold=20_000,
+        assumed_flip_accesses=220_000,
+        min_row_samples=3,
+    )
+    defaults.update(kwargs)
+    return AnvilConfig(**defaults)
+
+
+def samples(counts: dict[tuple[int, int, int], int]) -> list[tuple[int, int, int]]:
+    rows = []
+    for key, n in counts.items():
+        rows.extend([key] * n)
+    return rows
+
+
+# -- positive detection --------------------------------------------------------------
+
+
+def test_double_sided_attack_pattern_detected():
+    """Two same-bank rows sharing ~all samples at attack-level miss rate."""
+    rows = samples({(0, 0, 100): 15, (0, 0, 102): 15})
+    analysis = analyze_row_samples(rows, window_misses=90_000, config=cfg())
+    assert analysis.attack_detected
+    keys = {a.row_key for a in analysis.aggressors}
+    assert keys == {(0, 0, 100), (0, 0, 102)}
+
+
+def test_estimated_accesses_scale_with_misses():
+    rows = samples({(0, 0, 100): 15, (0, 0, 102): 15})
+    analysis = analyze_row_samples(rows, window_misses=90_000, config=cfg())
+    for aggressor in analysis.aggressors:
+        assert aggressor.estimated_accesses == 0.5 * 90_000
+
+
+def test_diluted_attack_still_detected_with_background():
+    """Heavy load: attack rows hold only ~25% of samples each, but the
+    higher total miss count keeps the estimated access rate at attack
+    levels — the self-normalising property of Section 3.3's rule."""
+    rows = samples({
+        (0, 0, 100): 8, (0, 0, 102): 8,
+        (0, 3, 900): 2, (1, 2, 50): 2, (0, 5, 123): 2,
+        (1, 1, 777): 2, (0, 7, 321): 2, (1, 4, 11): 2, (0, 2, 44): 2,
+    })
+    analysis = analyze_row_samples(rows, window_misses=160_000, config=cfg())
+    keys = {a.row_key for a in analysis.aggressors}
+    assert (0, 0, 100) in keys and (0, 0, 102) in keys
+
+
+# -- negative cases ---------------------------------------------------------------------
+
+
+def test_low_miss_window_not_flagged():
+    """Same concentration, but a miss rate too low to hammer."""
+    rows = samples({(0, 0, 100): 15, (0, 0, 102): 15})
+    analysis = analyze_row_samples(rows, window_misses=2_000, config=cfg())
+    assert not analysis.attack_detected
+
+
+def test_scattered_samples_not_flagged():
+    rows = [(0, i % 8, 1000 + i * 37) for i in range(30)]
+    analysis = analyze_row_samples(rows, window_misses=160_000, config=cfg())
+    assert not analysis.attack_detected
+
+
+def test_single_hot_row_rejected_by_bank_check():
+    """A hot row with no same-bank companions is row-buffer-served
+    thrashing, not hammering (Section 3.1)."""
+    rows = samples({(0, 0, 100): 16})
+    rows += [(0, bank, 5000 + i) for i, bank in enumerate([1, 2, 3, 4, 5, 6, 7] * 2)]
+    analysis = analyze_row_samples(rows, window_misses=90_000, config=cfg())
+    assert not analysis.attack_detected
+    assert analysis.hot_rows_rejected_by_bank_check == 1
+
+
+def test_bank_check_can_be_disabled():
+    rows = samples({(0, 0, 100): 16})
+    rows += [(0, bank, 5000 + i) for i, bank in enumerate([1, 2, 3, 4, 5, 6, 7] * 2)]
+    analysis = analyze_row_samples(
+        rows, window_misses=90_000, config=cfg(bank_locality_check=False)
+    )
+    assert analysis.attack_detected
+
+
+def test_min_samples_guard():
+    analysis = analyze_row_samples(
+        [(0, 0, 1), (0, 0, 2)], window_misses=100_000, config=cfg(min_samples=4)
+    )
+    assert not analysis.attack_detected
+    assert analysis.total_samples == 2
+
+
+def test_min_row_samples_guard():
+    """Two coinciding samples out of 30 cannot flag a row."""
+    rows = samples({(0, 0, 100): 2})
+    rows += [(0, 1 + (i % 7), 9000 + i * 13) for i in range(28)]
+    analysis = analyze_row_samples(rows, window_misses=200_000, config=cfg())
+    assert not analysis.attack_detected
+
+
+def test_empty_samples():
+    analysis = analyze_row_samples([], window_misses=50_000, config=cfg())
+    assert not analysis.attack_detected
+
+
+def test_zero_misses():
+    rows = samples({(0, 0, 100): 30})
+    analysis = analyze_row_samples(rows, window_misses=0, config=cfg())
+    assert not analysis.attack_detected
+
+
+# -- properties ------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 50)),
+        min_size=0, max_size=40,
+    ),
+    misses=st.integers(min_value=0, max_value=300_000),
+)
+def test_aggressors_always_meet_all_criteria(data, misses):
+    config = cfg()
+    rows = [(0, bank, row) for bank, row in data]
+    analysis = analyze_row_samples(rows, misses, config)
+    from collections import Counter
+
+    counts = Counter(rows)
+    for aggressor in analysis.aggressors:
+        count = counts[aggressor.row_key]
+        assert count >= config.min_row_samples
+        assert count == aggressor.sample_count
+        estimated = count / len(rows) * misses
+        assert estimated >= config.hot_row_accesses
+        assert aggressor.bank_other_samples >= config.bank_other_fraction * count
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 10)),
+                  min_size=1, max_size=30),
+    misses=st.integers(min_value=0, max_value=300_000),
+)
+def test_analysis_is_deterministic(data, misses):
+    rows = [(0, bank, row) for bank, row in data]
+    a = analyze_row_samples(rows, misses, cfg())
+    b = analyze_row_samples(list(rows), misses, cfg())
+    assert [x.row_key for x in a.aggressors] == [x.row_key for x in b.aggressors]

@@ -1,0 +1,209 @@
+"""Baseline-defense tests: PARA, TRR, ARMOR, ECC, refresh scaling, bans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import DoubleSidedClflushAttack
+from repro.defenses import (
+    Armor,
+    ClflushBan,
+    DoubleRefresh,
+    EccScrubber,
+    Para,
+    TargetedRowRefresh,
+    apply_refresh_scale,
+)
+from repro.errors import ClflushRestrictedError
+from repro.presets import small_machine
+from repro.units import MB
+
+THRESHOLD = 4_000
+BUF = 16 * MB
+
+
+def attack_under(defense, max_ms=30, threshold=THRESHOLD):
+    machine = small_machine(threshold_min=threshold)
+    if defense is not None:
+        defense.install(machine)
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    result = attack.run(machine, max_ms=max_ms)
+    return machine, result
+
+
+# -- PARA -------------------------------------------------------------------------
+
+
+def test_para_stops_double_sided_attack():
+    machine, result = attack_under(Para(probability=0.002))
+    assert not result.flipped
+
+
+def test_para_triggers_proportionally():
+    para = Para(probability=0.01)
+    machine, result = attack_under(para)
+    activations = machine.memory.device.stats.activations
+    # Expect ~1% of activations to trigger, within loose bounds.
+    assert 0.003 * activations < para.triggered < 0.03 * activations
+
+
+def test_para_zero_probability_rejected():
+    with pytest.raises(ValueError):
+        Para(probability=0.0)
+
+
+def test_para_uninstall():
+    machine = small_machine(threshold_min=THRESHOLD)
+    para = Para(probability=1.0)
+    para.install(machine)
+    para.uninstall(machine)
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    assert attack.run(machine, max_ms=20).flipped
+
+
+# -- TRR ---------------------------------------------------------------------------
+
+
+def test_trr_stops_attack():
+    machine, result = attack_under(TargetedRowRefresh(activation_threshold=500))
+    assert not result.flipped
+
+
+def test_trr_threshold_above_flip_point_fails():
+    """A TRR threshold above the cell flip threshold refreshes too late —
+    the DDR4 'optional module' worry of Section 1.2."""
+    machine, result = attack_under(
+        TargetedRowRefresh(activation_threshold=50_000), max_ms=30
+    )
+    assert result.flipped
+
+
+def test_trr_limited_tracker_table_evicts():
+    trr = TargetedRowRefresh(activation_threshold=500, table_size=2)
+    machine = small_machine(threshold_min=THRESHOLD)
+    trr.install(machine)
+    # Touch many distinct rows in one bank to churn the tracker table.
+    mapping = machine.memory.mapping
+    for row in range(0, 64):
+        machine.memory.controller.access(
+            mapping.address_in_row(0, 0, row), 20_000 + row * 200
+        )
+    assert trr.evicted_trackers > 0
+
+
+# -- ARMOR -----------------------------------------------------------------------------
+
+
+def test_armor_stops_attack():
+    machine, result = attack_under(Armor(hot_threshold=500))
+    assert not result.flipped
+
+
+def test_armor_absorbs_hot_activations():
+    armor = Armor(hot_threshold=200)
+    machine, result = attack_under(armor)
+    assert armor.absorbed > 0
+
+
+# -- ECC ---------------------------------------------------------------------------------
+
+
+def test_ecc_corrects_single_flip():
+    machine = small_machine(threshold_min=THRESHOLD)
+    ecc = EccScrubber()
+    ecc.install(machine)
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    attack.run(machine, max_ms=30)  # stops at first flip
+    report = ecc.scrub()
+    assert report.corrected_words >= 1
+    assert report.protected
+
+
+def test_ecc_overwhelmed_by_sustained_hammering():
+    """Section 1.2: 'multiple bit-flips per word' defeat SECDED.  Keep
+    hammering well past the first flip until some word collects two."""
+    machine = small_machine(threshold_min=2_000)
+    ecc = EccScrubber()
+    ecc.install(machine)
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    attack.run(machine, max_ms=50, stop_on_flip=False)
+    report = ecc.scrub()
+    total_flips = machine.memory.device.flip_count()
+    assert total_flips > 2
+    # With enough flips in one row, word collisions appear eventually;
+    # at minimum ECC must report every flipped word.
+    assert report.corrected_words + 2 * report.uncorrectable_words <= total_flips
+    assert report.corrected_words + report.uncorrectable_words > 0
+
+
+def test_ecc_clean_without_attack():
+    machine = small_machine()
+    ecc = EccScrubber()
+    ecc.install(machine)
+    assert ecc.scrub().clean
+
+
+def test_ecc_requires_install():
+    with pytest.raises(RuntimeError):
+        EccScrubber().scrub()
+
+
+# -- refresh scaling -----------------------------------------------------------------------
+
+
+def test_double_refresh_halves_retention():
+    machine = small_machine()
+    apply_refresh_scale(machine, 2.0)
+    assert machine.memory.controller.config.timings.retention_ms == 32.0
+
+
+def test_double_refresh_defense_object():
+    machine = small_machine()
+    DoubleRefresh().install(machine)
+    assert machine.memory.controller.config.timings.retention_ms == 32.0
+
+
+def test_double_refresh_insufficient_against_fast_attack():
+    machine, result = attack_under(DoubleRefresh(), max_ms=40)
+    assert result.flipped  # Section 2.1's headline
+
+
+def test_refresh_scaling_bounded_by_trfc():
+    """Refresh commands cannot arrive faster than they complete: the
+    physical ceiling on the 'just refresh more' mitigation."""
+    from repro.errors import ConfigError
+
+    machine = small_machine()
+    with pytest.raises(ConfigError):
+        apply_refresh_scale(machine, 32.0)
+
+
+def test_fast_refresh_scaling_beats_slow_attack():
+    """With retention shorter than the attack's accumulation time, the
+    victim is always refreshed first (the principle that works; the cost
+    is what makes it impractical, Section 2.1)."""
+    machine = small_machine(threshold_min=60_000, refresh_scale=16.0)
+    attack = DoubleSidedClflushAttack(buffer_bytes=BUF)
+    result = attack.run(machine, max_ms=30)
+    assert not result.flipped
+
+
+# -- CLFLUSH ban ------------------------------------------------------------------------------
+
+
+def test_clflush_ban_blocks_instruction():
+    machine = small_machine()
+    ClflushBan().install(machine)
+    base = machine.memory.vm.mmap(8192)
+    with pytest.raises(ClflushRestrictedError):
+        machine.memory.clflush(base, 0)
+
+
+def test_clflush_ban_uninstall():
+    machine = small_machine()
+    ban = ClflushBan()
+    ban.install(machine)
+    ban.uninstall(machine)
+    base = machine.memory.vm.mmap(8192)
+    machine.memory.access(base, 0)
+    assert machine.memory.clflush(base, 100) > 0

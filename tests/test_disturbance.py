@@ -1,0 +1,165 @@
+"""Disturbance-model tests: thresholds, accumulation, epochs, flips."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.config import DisturbanceConfig
+from repro.dram.disturbance import CellPopulation, DisturbanceTracker
+
+ROW_BITS = 8192 * 8
+
+
+def make_pair(threshold_min=1000, strong_fraction=0.0, spread=1.5, seed=1):
+    config = DisturbanceConfig(
+        threshold_min=threshold_min,
+        strong_fraction=strong_fraction,
+        spread=spread,
+        seed=seed,
+    )
+    cells = CellPopulation(config, ROW_BITS)
+    return cells, DisturbanceTracker(cells, config)
+
+
+# -- cell population -------------------------------------------------------------
+
+
+def test_thresholds_deterministic():
+    cells_a, _ = make_pair(seed=7)
+    cells_b, _ = make_pair(seed=7)
+    for row in range(100):
+        assert cells_a.threshold_for(row) == cells_b.threshold_for(row)
+
+
+def test_thresholds_at_least_minimum():
+    cells, _ = make_pair(threshold_min=5000)
+    assert all(cells.threshold_for(r) >= 5000 for r in range(500))
+
+
+def test_thresholds_bounded_by_spread():
+    cells, _ = make_pair(threshold_min=1000, spread=0.5)
+    assert all(cells.threshold_for(r) <= 1500.0001 for r in range(500))
+
+
+def test_strong_rows_never_flip():
+    config = DisturbanceConfig(threshold_min=1000, strong_fraction=0.999)
+    cells = CellPopulation(config, ROW_BITS)
+    strong = sum(cells.threshold_for(r) == float("inf") for r in range(200))
+    assert strong >= 198
+
+
+def test_strong_fraction_approximate():
+    config = DisturbanceConfig(threshold_min=1000, strong_fraction=0.5)
+    cells = CellPopulation(config, ROW_BITS)
+    strong = sum(cells.threshold_for(r) == float("inf") for r in range(2000))
+    assert 800 < strong < 1200
+
+
+def test_weakest_rows_sorted_by_threshold():
+    cells, _ = make_pair()
+    weakest = cells.weakest_rows(range(1000), count=5)
+    thresholds = [cells.threshold_for(r) for r in weakest]
+    assert thresholds == sorted(thresholds)
+    assert min(cells.threshold_for(r) for r in range(1000)) == thresholds[0]
+
+
+def test_flip_positions_within_row():
+    cells, _ = make_pair()
+    for i in range(8):
+        assert 0 <= cells.flip_bit_position(42, i) < ROW_BITS
+
+
+def test_flip_threshold_increases_per_bit():
+    cells, _ = make_pair()
+    t0 = cells.flip_threshold(10, 0)
+    t1 = cells.flip_threshold(10, 1)
+    assert t1 > t0
+
+
+# -- tracker ---------------------------------------------------------------------
+
+
+def test_disturb_accumulates():
+    _, tracker = make_pair(threshold_min=1000)
+    tracker.disturb(5, 10.0, epoch=0, time_cycles=0)
+    tracker.disturb(5, 15.0, epoch=0, time_cycles=1)
+    assert tracker.units(5, 0) == 25.0
+
+
+def test_epoch_change_resets_units():
+    _, tracker = make_pair(threshold_min=1000)
+    tracker.disturb(5, 999.0, epoch=0, time_cycles=0)
+    tracker.disturb(5, 1.0, epoch=1, time_cycles=100)
+    assert tracker.units(5, 1) == 1.0
+    assert tracker.flip_count() == 0
+
+
+def test_refresh_resets_units():
+    _, tracker = make_pair(threshold_min=1000)
+    tracker.disturb(5, 999.0, epoch=0, time_cycles=0)
+    tracker.on_refresh(5, epoch=0)
+    assert tracker.units(5, 0) == 0.0
+
+
+def test_flip_at_threshold():
+    cells, tracker = make_pair(threshold_min=1000, spread=0.0)
+    flips = tracker.disturb(5, 1000.0, epoch=0, time_cycles=77)
+    assert len(flips) == 1
+    assert flips[0].row_id == 5
+    assert flips[0].time_cycles == 77
+    assert tracker.flipped_bits(5)
+
+
+def test_no_flip_below_threshold():
+    _, tracker = make_pair(threshold_min=1000, spread=0.0)
+    assert tracker.disturb(5, 999.9, epoch=0, time_cycles=0) == []
+
+
+def test_multiple_flips_with_more_units():
+    """Sustained hammering flips additional bits (the multi-flip behaviour
+    that defeats SECDED ECC, Section 1.2)."""
+    _, tracker = make_pair(threshold_min=1000, spread=0.0)
+    flips = tracker.disturb(5, 1300.0, epoch=0, time_cycles=0)
+    assert len(flips) == 3  # thresholds at 1000, 1150, 1300
+
+
+def test_flips_capped_at_max():
+    config = DisturbanceConfig(threshold_min=100, spread=0.0, strong_fraction=0.0,
+                               max_flips_per_row=2)
+    cells = CellPopulation(config, ROW_BITS)
+    tracker = DisturbanceTracker(cells, config)
+    flips = tracker.disturb(3, 1e9, epoch=0, time_cycles=0)
+    assert len(flips) == 2
+
+
+def test_same_bit_not_flipped_twice():
+    _, tracker = make_pair(threshold_min=100, spread=0.0)
+    tracker.disturb(9, 1e4, epoch=0, time_cycles=0)
+    bits = [f.bit_offset for f in tracker.flips]
+    assert len(bits) == len(set(bits)) or len(bits) <= 8
+
+
+def test_rows_with_flips():
+    _, tracker = make_pair(threshold_min=10, spread=0.0)
+    tracker.disturb(2, 100, epoch=0, time_cycles=0)
+    tracker.disturb(7, 100, epoch=0, time_cycles=0)
+    assert tracker.rows_with_flips() == [2, 7]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    deposits=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=20),
+                  st.floats(min_value=0.1, max_value=500.0)),
+        max_size=50,
+    )
+)
+def test_units_never_negative_and_flips_monotonic(deposits):
+    _, tracker = make_pair(threshold_min=800)
+    seen_flips = 0
+    for row, units in deposits:
+        tracker.disturb(row, units, epoch=0, time_cycles=0)
+        assert tracker.units(row, 0) >= 0
+        assert tracker.flip_count() >= seen_flips
+        seen_flips = tracker.flip_count()

@@ -1,0 +1,115 @@
+"""Address-mapping tests: decode/encode roundtrips, banks, neighbours."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import AddressMapping, DramConfig, DramCoord
+from repro.errors import AddressError
+
+
+def small_mapping(xor_hash=False) -> AddressMapping:
+    return AddressMapping(
+        DramConfig(ranks=1, banks_per_rank=4, rows_per_bank=2048, row_bytes=8192,
+                   xor_bank_hash=xor_hash)
+    )
+
+
+def test_decode_fields():
+    mapping = small_mapping()
+    coord = mapping.decode(0)
+    assert coord == DramCoord(rank=0, bank=0, row=0, col=0)
+
+
+def test_decode_bank_bits():
+    mapping = small_mapping()
+    assert mapping.decode(8192).bank == 1  # first address of bank 1
+
+
+def test_decode_row_bits():
+    mapping = small_mapping()
+    stride = 8192 * 4  # one full sweep of banks = next row
+    assert mapping.decode(stride).row == 1
+
+
+def test_decode_out_of_range():
+    mapping = small_mapping()
+    with pytest.raises(AddressError):
+        mapping.decode(mapping.capacity)
+    with pytest.raises(AddressError):
+        mapping.decode(-1)
+
+
+def test_encode_validates_fields():
+    mapping = small_mapping()
+    with pytest.raises(AddressError):
+        mapping.encode(DramCoord(rank=0, bank=9, row=0, col=0))
+    with pytest.raises(AddressError):
+        mapping.encode(DramCoord(rank=0, bank=0, row=4096, col=0))
+
+
+def test_same_bank():
+    mapping = small_mapping()
+    a = mapping.address_in_row(0, 2, 100)
+    b = mapping.address_in_row(0, 2, 900)
+    c = mapping.address_in_row(0, 3, 100)
+    assert mapping.same_bank(a, b)
+    assert not mapping.same_bank(a, c)
+
+
+def test_neighbors_radius_one():
+    mapping = small_mapping()
+    coord = DramCoord(rank=0, bank=1, row=100, col=0)
+    rows = [n.row for n in mapping.neighbors(coord)]
+    assert rows == [99, 101]
+    assert all(n.bank == 1 for n in mapping.neighbors(coord))
+
+
+def test_neighbors_at_edge():
+    mapping = small_mapping()
+    first = DramCoord(rank=0, bank=0, row=0, col=0)
+    assert [n.row for n in mapping.neighbors(first)] == [1]
+    last = DramCoord(rank=0, bank=0, row=2047, col=0)
+    assert [n.row for n in mapping.neighbors(last)] == [2046]
+
+
+def test_neighbors_radius_two():
+    mapping = small_mapping()
+    coord = DramCoord(rank=0, bank=0, row=10, col=0)
+    assert [n.row for n in mapping.neighbors(coord, radius=2)] == [8, 9, 11, 12]
+
+
+def test_global_row_id_dense_and_unique():
+    mapping = small_mapping()
+    ids = {
+        mapping.global_row_id(DramCoord(rank=0, bank=b, row=r, col=0))
+        for b in range(4)
+        for r in range(0, 2048, 97)
+    }
+    assert len(ids) == 4 * len(range(0, 2048, 97))
+
+
+@settings(max_examples=200, deadline=None)
+@given(paddr=st.integers(min_value=0, max_value=(1 << 26) - 1))
+def test_roundtrip_decode_encode(paddr):
+    mapping = small_mapping()
+    assert mapping.encode(mapping.decode(paddr)) == paddr
+
+
+@settings(max_examples=100, deadline=None)
+@given(paddr=st.integers(min_value=0, max_value=(1 << 26) - 1))
+def test_roundtrip_with_xor_bank_hash(paddr):
+    mapping = small_mapping(xor_hash=True)
+    assert mapping.encode(mapping.decode(paddr)) == paddr
+
+
+@settings(max_examples=100, deadline=None)
+@given(paddr=st.integers(min_value=0, max_value=(1 << 26) - 8192))
+def test_same_row_within_row_bytes(paddr):
+    """All addresses within one aligned 8 KB block share a row."""
+    mapping = small_mapping()
+    base = paddr & ~(8192 - 1)
+    a, b = mapping.decode(base), mapping.decode(base + 8191)
+    assert (a.rank, a.bank, a.row) == (b.rank, b.bank, b.row)

@@ -1,0 +1,95 @@
+"""Eviction-set construction tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.eviction import (
+    build_eviction_set,
+    conflict_candidates,
+    find_eviction_set_by_timing,
+    verify_eviction_set,
+)
+from repro.errors import EvictionSetError, PagemapRestrictedError
+from repro.presets import small_machine
+from repro.sim import load
+from repro.units import MB
+
+
+@pytest.fixture
+def pool(machine):
+    base = machine.memory.vm.mmap(8 * MB)
+    target = base + 64
+    return machine, base, target
+
+
+def test_conflict_candidates_share_set(pool):
+    machine, base, target = pool
+    memsys = machine.memory
+    candidates = conflict_candidates(memsys, target, base, 8 * MB)
+    assert len(candidates) >= 12
+    target_paddr = memsys.vm.translate(target)
+    llc = memsys.hierarchy.llc
+    for vaddr in candidates:
+        assert llc.same_set(memsys.vm.translate(vaddr), target_paddr)
+        assert vaddr != target
+
+
+def test_build_eviction_set_default_size(pool):
+    machine, base, target = pool
+    eset = build_eviction_set(machine.memory, target, base, 8 * MB)
+    assert len(eset) == machine.memory.hierarchy.llc.config.ways
+
+
+def test_build_eviction_set_pool_too_small(pool):
+    machine, base, target = pool
+    with pytest.raises(EvictionSetError):
+        build_eviction_set(machine.memory, target, base, 64 * 1024)
+
+
+def test_eviction_set_actually_evicts(pool):
+    machine, base, target = pool
+    eset = build_eviction_set(machine.memory, target, base, 8 * MB)
+    assert verify_eviction_set(machine, target, eset)
+
+
+def test_non_conflicting_addresses_do_not_evict(pool):
+    machine, base, target = pool
+    # 12 arbitrary other pages: land in other sets, target survives.
+    others = [base + (i + 100) * 4096 for i in range(12)]
+    paddr = machine.memory.vm.translate(target)
+    llc = machine.memory.hierarchy.llc
+    others = [v for v in others if not llc.same_set(machine.memory.vm.translate(v), paddr)]
+    assert not verify_eviction_set(machine, target, others)
+
+
+def test_pagemap_restriction_blocks_builder():
+    machine = small_machine(pagemap_restricted=True)
+    base = machine.memory.vm.mmap(1 * MB)
+    with pytest.raises(PagemapRestrictedError):
+        build_eviction_set(machine.memory, base, base, 1 * MB)
+
+
+def test_pagemap_restriction_privileged_override():
+    machine = small_machine(pagemap_restricted=True)
+    base = machine.memory.vm.mmap(8 * MB)
+    eset = build_eviction_set(machine.memory, base + 64, base, 8 * MB, privileged=True)
+    assert len(eset) == 12
+
+
+def test_timing_based_eviction_set_without_pagemap():
+    """The side-channel fallback of Section 5.2.1: pagemap restricted,
+    eviction set recovered purely from reload timing."""
+    machine = small_machine(pagemap_restricted=True)
+    base = machine.memory.vm.mmap(8 * MB)
+    target = base + 64
+    eset = find_eviction_set_by_timing(
+        machine, target, base, 8 * MB, max_candidates=2048
+    )
+    assert len(eset) == machine.memory.hierarchy.llc.config.ways
+    # The recovered set must evict the target.
+    machine.execute(load(target))
+    for vaddr in eset:
+        machine.execute(load(vaddr))
+    record = machine.execute(load(target))
+    assert record.level == "DRAM"

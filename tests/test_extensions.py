@@ -1,0 +1,141 @@
+"""Extension-feature tests: store-based hammering, blind pair hammering,
+wider blast radius with radius-N protection (paper Sections 3.2/5.2.1:
+"our approach easily extends to N adjacent rows")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import BlindPairHammerAttack, DoubleSidedClflushAttack
+from repro.core import AnvilConfig, AnvilModule
+from repro.dram import DisturbanceConfig, DramConfig, DramTimings
+from repro.mem import MemorySystemConfig
+from repro.presets import small_machine
+from repro.sim import Machine, MachineConfig
+from repro.units import MB
+
+
+# -- store-based hammering -----------------------------------------------------------
+
+
+def test_store_hammer_flips():
+    machine = small_machine(threshold_min=4_000)
+    attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB, store_based=True)
+    result = attack.run(machine, max_ms=20)
+    assert result.flipped
+    assert result.name == "double-sided-clflush-stores"
+
+
+def test_anvil_stops_store_hammer_via_precise_store_facility():
+    machine = small_machine(threshold_min=30_000)
+    config = AnvilConfig(
+        llc_miss_threshold=3_300, tc_ms=1.0, ts_ms=1.0,
+        sampling_rate_hz=50_000, assumed_flip_accesses=30_000,
+    )
+    anvil = AnvilModule(machine, config)
+    anvil.install()
+    attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB, store_based=True)
+    result = attack.run(machine, max_ms=15, stop_on_flip=False)
+    assert result.flips == 0
+    assert anvil.stats.detection_count > 0
+    sampler = machine.pmu.sampler
+    assert sampler is not None and sampler.config.sample_stores
+
+
+# -- blind pair hammering ----------------------------------------------------------------
+
+
+def test_blind_attack_finds_same_bank_pairs():
+    machine = small_machine(threshold_min=2_000)
+    attack = BlindPairHammerAttack(buffer_bytes=16 * MB, pairs=12, seed=3)
+    attack.prepare(machine)
+    assert attack.pair_count() >= 8
+    # With 4 banks, ~1/4 of random pairs share a bank.
+    assert attack.same_bank_pairs() >= 1
+
+
+def test_blind_attack_flips_without_pagemap_knowledge():
+    """Rotating random pairs eventually hammers a same-bank pair long
+    enough to flip a neighbour — no physical addresses needed for
+    targeting (Section 5.2.1)."""
+    machine = small_machine(threshold_min=1_500)
+    attack = BlindPairHammerAttack(
+        buffer_bytes=16 * MB, pairs=8, pair_ms=1.5, seed=3
+    )
+    result = attack.run(machine, max_ms=30, check_every=8)
+    assert result.flipped
+
+
+# -- blast radius 2 ----------------------------------------------------------------------
+
+
+def radius2_machine(threshold_min=20_000) -> Machine:
+    """A module whose crosstalk reaches two rows (denser future DRAM)."""
+    dram = DramConfig(
+        ranks=1, banks_per_rank=4, rows_per_bank=2048, row_bytes=8192,
+        timings=DramTimings(),
+        disturbance=DisturbanceConfig(
+            threshold_min=threshold_min,
+            neighbor_weights=(1.0, 0.4),
+        ),
+    )
+    return Machine(MachineConfig(memory=MemorySystemConfig(dram=dram)))
+
+
+def test_radius2_disturbance_reaches_distance_two():
+    machine = radius2_machine(threshold_min=2_000)
+    attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB)
+    attack.run(machine, max_ms=30, stop_on_flip=False)
+    victim_rows = {
+        machine.memory.device.coord_of_row_id(f.row_id).row
+        for f in machine.memory.device.tracker.flips
+    }
+    aggressors = {c.row for c in attack.aggressor_coords}
+    assert any(
+        min(abs(row - a) for a in aggressors) == 2 for row in victim_rows
+    ), f"expected a distance-2 victim, got {victim_rows} vs {aggressors}"
+
+
+def test_radius1_anvil_misses_distance2_victims():
+    """Failure injection: ANVIL configured for radius-1 victims cannot
+    protect a module with radius-2 crosstalk."""
+    machine = radius2_machine(threshold_min=25_000)
+    config = AnvilConfig(
+        llc_miss_threshold=3_300, tc_ms=1.0, ts_ms=1.0,
+        sampling_rate_hz=50_000, assumed_flip_accesses=25_000,
+        victim_radius=1,
+    )
+    anvil = AnvilModule(machine, config)
+    anvil.install()
+    attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB)
+    result = attack.run(machine, max_ms=40, stop_on_flip=False)
+    assert anvil.stats.detection_count > 0
+    assert result.flips > 0, "radius-1 protection should leak distance-2 flips"
+    aggressors = {c.row for c in attack.aggressor_coords}
+    leak_rows = {
+        machine.memory.device.coord_of_row_id(f.row_id).row
+        for f in machine.memory.device.tracker.flips
+    }
+    assert all(min(abs(r - a) for a in aggressors) == 2 for r in leak_rows)
+
+
+def test_radius2_anvil_protects_distance2_victims():
+    machine = radius2_machine(threshold_min=25_000)
+    config = AnvilConfig(
+        llc_miss_threshold=3_300, tc_ms=1.0, ts_ms=1.0,
+        sampling_rate_hz=50_000, assumed_flip_accesses=25_000,
+        victim_radius=2,
+    )
+    anvil = AnvilModule(machine, config)
+    anvil.install()
+    attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB)
+    result = attack.run(machine, max_ms=40, stop_on_flip=False)
+    assert anvil.stats.detection_count > 0
+    assert result.flips == 0
+
+
+def test_neighbor_weights_validation():
+    with pytest.raises(Exception):
+        DisturbanceConfig(neighbor_weights=())
+    with pytest.raises(Exception):
+        DisturbanceConfig(neighbor_weights=(1.0, -0.5))

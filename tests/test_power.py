@@ -1,0 +1,74 @@
+"""DRAM power-model tests (Section 2.1's cost argument)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import DramPowerConfig, DramPowerModel
+from repro.dram.config import DramTimings
+from repro.errors import ConfigError
+
+
+def test_refresh_power_positive():
+    model = DramPowerModel()
+    assert model.refresh_power_w(DramTimings()) > 0
+
+
+def test_doubling_refresh_doubles_refresh_power():
+    model = DramPowerModel()
+    base = DramTimings()
+    multiplier, _ = model.refresh_scaling_cost(base, 2.0)
+    assert multiplier == pytest.approx(2.0)
+
+
+def test_paper_4x_claim():
+    """Section 2.1: protecting the test module needs a ~15 ms refresh
+    period — 'over a 4x increase in refresh power and throughput
+    overhead' relative to 64 ms."""
+    model = DramPowerModel()
+    base = DramTimings()
+    multiplier, throughput_delta = model.refresh_scaling_cost(base, 64.0 / 15.0)
+    assert multiplier > 4.0
+    assert throughput_delta > 3.0 * (base.trfc_ns / base.trefi_ns)
+
+
+def test_breakdown_totals():
+    model = DramPowerModel()
+    breakdown = model.breakdown(DramTimings(), activations_per_s=1e6,
+                                accesses_per_s=1e7)
+    assert breakdown.total_w == pytest.approx(
+        breakdown.refresh_w + breakdown.background_w
+        + breakdown.activate_w + breakdown.access_w
+    )
+    assert breakdown.activate_w == pytest.approx(18e-9 * 1e6)
+
+
+def test_anvil_selective_refresh_power_negligible():
+    """Even at Table 3's worst refresh rate (hundreds/s during an active
+    attack), ANVIL's selective refreshes cost under a microwatt-to-
+    milliwatt — vs ~11 mW of baseline auto-refresh."""
+    model = DramPowerModel()
+    anvil_w = model.selective_refresh_power_w(500)
+    auto_w = model.refresh_power_w(DramTimings())
+    assert anvil_w < auto_w / 1000
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        DramPowerConfig(vdd=0)
+    model = DramPowerModel()
+    with pytest.raises(ConfigError):
+        model.breakdown(DramTimings(), activations_per_s=-1)
+    with pytest.raises(ConfigError):
+        model.selective_refresh_power_w(-1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(factor=st.floats(min_value=1.0, max_value=20.0))
+def test_refresh_power_scales_linearly(factor):
+    model = DramPowerModel()
+    multiplier, delta = model.refresh_scaling_cost(DramTimings(), factor)
+    assert multiplier == pytest.approx(factor, rel=1e-9)
+    assert delta >= 0

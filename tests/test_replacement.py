@@ -1,0 +1,225 @@
+"""Replacement-policy unit and property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.replacement import (
+    BitPlru,
+    Nru,
+    RandomReplacement,
+    Srrip,
+    TreePlru,
+    TrueLru,
+    make_policy,
+    policy_names,
+)
+from repro.errors import ConfigError
+
+ALL_POLICIES = policy_names()
+
+
+# -- construction ------------------------------------------------------------------
+
+
+def test_policy_names_lists_all():
+    assert set(ALL_POLICIES) == {
+        "lru", "bit-plru", "nru", "tree-plru", "random", "srrip"
+    }
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+def test_make_policy_constructs(name):
+    ways = 8  # power of two: valid for every policy
+    policy = make_policy(name, ways)
+    assert policy.ways == ways
+
+
+def test_make_policy_unknown_name():
+    with pytest.raises(ConfigError):
+        make_policy("clock", 8)
+
+
+def test_tree_plru_requires_power_of_two():
+    with pytest.raises(ConfigError):
+        TreePlru(12)
+
+
+def test_zero_ways_rejected():
+    with pytest.raises(ConfigError):
+        TrueLru(0)
+
+
+# -- true LRU -------------------------------------------------------------------
+
+
+def test_lru_evicts_least_recently_used():
+    lru = TrueLru(4)
+    for way in range(4):
+        lru.on_fill(way)
+    lru.on_hit(0)  # order now: 1, 2, 3, 0
+    assert lru.victim() == 1
+
+
+def test_lru_invalidate_becomes_preferred_victim():
+    lru = TrueLru(4)
+    for way in range(4):
+        lru.on_fill(way)
+    lru.on_invalidate(3)
+    assert lru.victim() == 3
+
+
+# -- Bit-PLRU ---------------------------------------------------------------------
+
+
+def test_bit_plru_sets_mru_on_access():
+    plru = BitPlru(4)
+    plru.on_fill(2)
+    assert plru.mru == [False, False, True, False]
+
+
+def test_bit_plru_victim_is_lowest_clear_index():
+    plru = BitPlru(4)
+    plru.on_fill(0)
+    plru.on_fill(2)
+    assert plru.victim() == 1
+
+
+def test_bit_plru_saturation_clears_others():
+    """Paper: 'When the last MRU bit is set, the other MRU bits in the set
+    are cleared.'"""
+    plru = BitPlru(4)
+    for way in range(4):
+        plru.on_fill(way)
+    assert plru.mru == [False, False, False, True]
+    assert plru.victim() == 0
+
+
+def test_bit_plru_invalidate_clears_bit():
+    plru = BitPlru(4)
+    plru.on_fill(0)
+    plru.on_invalidate(0)
+    assert plru.victim() == 0
+
+
+# -- NRU ---------------------------------------------------------------------------
+
+
+def test_nru_hand_advances():
+    nru = Nru(4)
+    nru.on_fill(0)
+    first = nru.victim()
+    assert first == 1  # hand started at 0, way 0 is referenced
+    second = nru.victim()
+    assert second == 2  # hand moved past the previous victim
+
+
+def test_nru_saturation_keeps_last_accessed():
+    nru = Nru(4)
+    for way in range(4):
+        nru.on_fill(way)
+    assert nru.ref == [False, False, False, True]
+
+
+# -- Tree-PLRU ------------------------------------------------------------------------
+
+
+def test_tree_plru_victim_valid_and_changes():
+    tree = TreePlru(8)
+    v1 = tree.victim()
+    tree.on_fill(v1)
+    v2 = tree.victim()
+    assert v1 != v2
+    assert 0 <= v2 < 8
+
+
+def test_tree_plru_points_away_from_touched_leaf():
+    tree = TreePlru(4)
+    tree.on_hit(3)
+    assert tree.victim() != 3
+
+
+# -- SRRIP -----------------------------------------------------------------------------
+
+
+def test_srrip_hit_promotes_to_zero():
+    srrip = Srrip(4)
+    srrip.on_fill(1)
+    srrip.on_hit(1)
+    assert srrip.rrpv[1] == 0
+
+
+def test_srrip_victim_prefers_max_rrpv():
+    srrip = Srrip(4)
+    for way in range(4):
+        srrip.on_fill(way)
+    srrip.on_hit(0)
+    victim = srrip.victim()
+    assert victim != 0
+
+
+def test_srrip_ages_when_no_max():
+    srrip = Srrip(2)
+    srrip.on_fill(0)
+    srrip.on_fill(1)
+    srrip.on_hit(0)
+    srrip.on_hit(1)
+    assert srrip.victim() in (0, 1)  # aging loop terminated
+
+
+# -- random -----------------------------------------------------------------------------
+
+
+def test_random_is_seeded_deterministic():
+    a = RandomReplacement(8, seed=3)
+    b = RandomReplacement(8, seed=3)
+    assert [a.victim() for _ in range(20)] == [b.victim() for _ in range(20)]
+
+
+def test_random_reset_restores_stream():
+    a = RandomReplacement(8, seed=3)
+    first = [a.victim() for _ in range(10)]
+    a.reset()
+    assert [a.victim() for _ in range(10)] == first
+
+
+# -- properties shared by every policy ------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(ALL_POLICIES),
+    ways_exp=st.integers(min_value=1, max_value=4),
+    events=st.lists(st.tuples(st.sampled_from(["hit", "fill", "inv"]),
+                              st.integers(min_value=0, max_value=15)),
+                    max_size=60),
+)
+def test_victim_always_in_range(name, ways_exp, events):
+    ways = 2 ** ways_exp
+    policy = make_policy(name, ways)
+    for kind, raw_way in events:
+        way = raw_way % ways
+        if kind == "hit":
+            policy.on_hit(way)
+        elif kind == "fill":
+            policy.on_fill(way)
+        else:
+            policy.on_invalidate(way)
+        assert 0 <= policy.victim() < ways
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.sampled_from(["lru", "bit-plru", "nru", "tree-plru", "srrip"]),
+    ways_exp=st.integers(min_value=2, max_value=4),
+    touched=st.integers(min_value=0, max_value=15),
+)
+def test_just_touched_way_is_not_victim(name, ways_exp, touched):
+    """For every deterministic policy, the way touched last (below
+    saturation) must not be the immediate victim."""
+    ways = 2 ** ways_exp
+    policy = make_policy(name, ways)
+    policy.on_fill(touched % ways)
+    assert policy.victim() != touched % ways

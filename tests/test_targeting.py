@@ -1,0 +1,83 @@
+"""Row-targeting tests: buffer scanning, triples, dummy rows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.targeting import RowResolver
+from repro.errors import EvictionSetError, PagemapRestrictedError
+from repro.presets import small_machine
+from repro.units import MB
+
+
+@pytest.fixture
+def resolver(machine):
+    base = machine.memory.vm.mmap(16 * MB)
+    r = RowResolver(machine.memory)
+    r.scan_buffer(base, 16 * MB)
+    return machine, r
+
+
+def test_scan_finds_rows(resolver):
+    machine, r = resolver
+    assert len(r.rows) > 100
+
+
+def test_row_entries_translate_back(resolver):
+    machine, r = resolver
+    for (rank, bank, row), vaddr in list(r.rows.items())[:50]:
+        coord = machine.memory.row_of_vaddr(vaddr)
+        assert (coord.rank, coord.bank, coord.row) == (rank, bank, row)
+
+
+def test_owned_triples_are_adjacent(resolver):
+    machine, r = resolver
+    triples = r.owned_triples()
+    assert triples
+    for t in triples[:20]:
+        low = machine.memory.row_of_vaddr(t.aggressor_low_vaddr)
+        high = machine.memory.row_of_vaddr(t.aggressor_high_vaddr)
+        victim = machine.memory.row_of_vaddr(t.victim_vaddr)
+        assert low.row == victim.row - 1
+        assert high.row == victim.row + 1
+        assert low.bank_key == victim.bank_key == high.bank_key
+
+
+def test_choose_triple_deterministic_without_score(resolver):
+    _, r = resolver
+    assert r.choose_triple() == r.choose_triple()
+
+
+def test_templating_oracle_prefers_weakest(resolver):
+    machine, r = resolver
+    score = r.templating_oracle()
+    chosen = r.choose_triple(score)
+    thresholds = [score(t) for t in r.owned_triples()]
+    assert score(chosen) == min(thresholds)
+
+
+def test_far_row_vaddr_distance(resolver):
+    machine, r = resolver
+    triple = r.choose_triple()
+    dummy = r.far_row_vaddr(triple.bank_key, triple.victim_row, min_distance=64)
+    coord = machine.memory.row_of_vaddr(dummy)
+    assert coord.bank_key == tuple(triple.bank_key)
+    assert abs(coord.row - triple.victim_row) >= 64
+
+
+def test_no_triples_raises():
+    machine = small_machine()
+    base = machine.memory.vm.mmap(64 * 1024)  # 16 pages: no triples likely
+    r = RowResolver(machine.memory)
+    r.scan_buffer(base, 64 * 1024)
+    if not r.owned_triples():
+        with pytest.raises(EvictionSetError):
+            r.choose_triple()
+
+
+def test_restricted_pagemap_blocks_scan():
+    machine = small_machine(pagemap_restricted=True)
+    base = machine.memory.vm.mmap(1 * MB)
+    r = RowResolver(machine.memory)
+    with pytest.raises(PagemapRestrictedError):
+        r.scan_buffer(base, 1 * MB)

@@ -1,0 +1,116 @@
+"""Units, presets, and public-API surface tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.errors import ConfigError
+from repro.presets import paper_machine, small_machine
+from repro.units import GB, KB, MB, Clock, is_power_of_two, log2_exact
+
+
+# -- units --------------------------------------------------------------------------
+
+
+def test_size_constants():
+    assert KB == 1024 and MB == 1024 ** 2 and GB == 1024 ** 3
+
+
+def test_clock_defaults_to_paper_frequency():
+    assert Clock().freq_hz == 2.6e9
+
+
+def test_clock_conversions():
+    clock = Clock(freq_hz=1e9)
+    assert clock.cycles_from_ns(100) == 100
+    assert clock.cycles_from_ms(1) == 1_000_000
+    assert clock.ms_from_cycles(2_000_000) == 2.0
+    assert clock.cycles_from_us(1) == 1000
+    assert clock.s_from_cycles(1e9) == 1.0
+
+
+def test_clock_rejects_nonpositive():
+    with pytest.raises(ConfigError):
+        Clock(freq_hz=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ms=st.floats(min_value=0.001, max_value=10_000))
+def test_clock_roundtrip(ms):
+    clock = Clock()
+    assert clock.ms_from_cycles(clock.cycles_from_ms(ms)) == pytest.approx(
+        ms, rel=1e-6
+    )
+
+
+def test_power_of_two_helpers():
+    assert is_power_of_two(1) and is_power_of_two(4096)
+    assert not is_power_of_two(0) and not is_power_of_two(12)
+    assert log2_exact(4096) == 12
+    with pytest.raises(ConfigError):
+        log2_exact(12)
+
+
+# -- presets ------------------------------------------------------------------------
+
+
+def test_small_machine_geometry():
+    machine = small_machine()
+    assert machine.memory.controller.config.capacity_bytes == 64 * MB
+    assert machine.memory.hierarchy.llc.config.ways == 12
+
+
+def test_paper_machine_geometry():
+    machine = paper_machine()
+    config = machine.memory.controller.config
+    assert config.capacity_bytes == 4 * GB
+    assert config.disturbance.threshold_min == 220_000
+    assert config.timings.retention_ms == 64.0
+
+
+def test_paper_machine_refresh_scale():
+    machine = paper_machine(refresh_scale=2.0)
+    assert machine.memory.controller.config.timings.retention_ms == 32.0
+
+
+def test_machines_independent():
+    a = small_machine(seed=1)
+    b = small_machine(seed=2)
+    base_a = a.memory.vm.mmap(8192)
+    base_b = b.memory.vm.mmap(8192)
+    # Different VM seeds scramble pages differently.
+    assert a.memory.vm.translate(base_a) != b.memory.vm.translate(base_b)
+
+
+def test_small_machine_retention_override():
+    machine = small_machine(retention_ms=16.0)
+    assert machine.memory.controller.config.timings.retention_ms == 16.0
+
+
+# -- public API -----------------------------------------------------------------------
+
+
+def test_package_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_surface():
+    """The README quickstart's names all resolve."""
+    from repro import (  # noqa: F401
+        AnvilConfig,
+        AnvilModule,
+        ClflushFreeAttack,
+        DoubleSidedClflushAttack,
+        Machine,
+        SingleSidedClflushAttack,
+        paper_machine,
+        small_machine,
+    )
