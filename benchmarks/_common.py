@@ -4,22 +4,34 @@ Every bench prints its reproduced table/figure next to the paper's
 reported values and also writes it to ``benchmarks/results/<name>.txt`` so
 the EXPERIMENTS.md record can be assembled from a plain
 ``pytest benchmarks/ --benchmark-only`` run (add ``-s`` to see the tables
-live).
+live).  Benches that have machine-readable numbers additionally pass
+``data=`` to :func:`publish`, which lands next to the text as
+``benchmarks/results/<name>.json`` for tooling (CI trend lines, the
+hot-path speedup gate).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def publish(name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
+def publish(name: str, text: str, data: dict | None = None) -> None:
+    """Print a result block and persist it under benchmarks/results/.
+
+    ``data``, when given, is written as ``<name>.json`` beside the text
+    so downstream tooling never has to parse the human tables.
+    """
     banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def anvil_table2_text() -> str:

@@ -48,7 +48,11 @@ def test_fig3_overhead(benchmark):
         f"\n\nANVIL average slowdown {summary['average_slowdown']:.2%} "
         f"(paper 1.17%), peak {summary['peak_slowdown']:.2%} (paper 3.18%)\n"
     )
-    publish("fig3_overhead", text)
+    publish(
+        "fig3_overhead",
+        text,
+        data={"series": series, "triggers": triggers, "summary": summary},
+    )
 
     anvil = series["ANVIL"]
     # Stage-1 trigger groups reproduce Section 4.3.

@@ -52,8 +52,22 @@ class FillResult:
     evicted_line: int | None = None
 
 
+#: Interned :meth:`Cache.access_fill` outcomes.  Hits and clean fills are by
+#: far the common cases; returning shared tuples keeps the hot access path
+#: allocation-free (only an eviction builds a fresh result tuple).
+_HIT: tuple[bool, int | None] = (True, None)
+_MISS_CLEAN: tuple[bool, int | None] = (False, None)
+
+
 class Cache:
     """A set-associative cache level, possibly sliced (for the LLC)."""
+
+    #: Upper bound on the slice-index memo.  Address-sweeping workloads
+    #: touch an unbounded set of distinct lines; without a cap the memo
+    #: grows without limit.  When full it is simply cleared — entries are
+    #: pure functions of the line address, so dropping them only costs a
+    #: recomputation.
+    INDEX_MEMO_MAX = 1 << 16
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
@@ -86,6 +100,8 @@ class Cache:
         if index is None:
             s = slice_of(paddr, self._n_slices)
             index = s * (self._set_mask + 1) + (line & self._set_mask)
+            if len(self._index_memo) >= self.INDEX_MEMO_MAX:
+                self._index_memo.clear()
             self._index_memo[line] = index
         return index
 
@@ -163,17 +179,19 @@ class Cache:
         if way is not None:
             cset.policy.on_hit(way)
             self.stats.hits += 1
-            return True, None
+            return _HIT
         self.stats.misses += 1
         tags = cset.tags
-        evicted = None
         if len(lookup) < len(tags):
             way = tags.index(None)
-        else:
-            way = cset.policy.victim()
-            evicted = tags[way]
-            del lookup[evicted]
-            self.stats.evictions += 1
+            tags[way] = line
+            lookup[line] = way
+            cset.policy.on_fill(way)
+            return _MISS_CLEAN
+        way = cset.policy.victim()
+        evicted = tags[way]
+        del lookup[evicted]
+        self.stats.evictions += 1
         tags[way] = line
         lookup[line] = way
         cset.policy.on_fill(way)
@@ -199,6 +217,7 @@ class Cache:
     def flush_all(self) -> None:
         """Drop every line (used between experiment phases)."""
         config = self.config
+        self._index_memo.clear()
         self._sets = [
             _CacheSet(
                 config.ways,

@@ -30,6 +30,10 @@ class HierarchyResult:
 
     ``latency_cycles`` covers the cache portion only; if ``llc_miss`` the
     memory system adds DRAM latency on top.
+
+    Cache-hit results are interned per level (hits dominate most op
+    streams, and allocating a record per hit is pure overhead): treat
+    instances returned by :meth:`CacheHierarchy.access` as read-only.
     """
 
     level: str
@@ -46,6 +50,22 @@ class CacheHierarchy:
         self.l1 = Cache(self.config.l1)
         self.l2 = Cache(self.config.l2)
         self.llc = Cache(self.config.llc)
+        #: (L1, L2, L3) hit latencies and the cache-side cost of an LLC
+        #: miss, precomputed for the fast-path execution engine.
+        self.hit_latencies = (
+            self.config.l1.latency_cycles,
+            self.config.l2.latency_cycles,
+            self.config.llc.latency_cycles,
+        )
+        self.miss_latency = (
+            self.config.llc.latency_cycles + self.config.miss_overhead_cycles
+        )
+        # Interned hit results: the allocation-free cache-hit path.
+        self._hit_results = (
+            HierarchyResult(level=L1, latency_cycles=self.hit_latencies[0], llc_miss=False),
+            HierarchyResult(level=L2, latency_cycles=self.hit_latencies[1], llc_miss=False),
+            HierarchyResult(level=L3, latency_cycles=self.hit_latencies[2], llc_miss=False),
+        )
 
     def access(self, paddr: int, is_store: bool = False) -> HierarchyResult:
         """Perform a load or store at physical address ``paddr``.
@@ -57,23 +77,17 @@ class CacheHierarchy:
         del is_store  # residency behaviour is identical
         hit, _ = self.l1.access_fill(paddr)
         if hit:
-            return HierarchyResult(
-                level=L1, latency_cycles=self.config.l1.latency_cycles, llc_miss=False
-            )
+            return self._hit_results[0]
 
         # The L1 miss already installed the line there (write-allocate);
         # the same applies at each level below.
         hit, _ = self.l2.access_fill(paddr)
         if hit:
-            return HierarchyResult(
-                level=L2, latency_cycles=self.config.l2.latency_cycles, llc_miss=False
-            )
+            return self._hit_results[1]
 
         hit, evicted_line = self.llc.access_fill(paddr)
         if hit:
-            return HierarchyResult(
-                level=L3, latency_cycles=self.config.llc.latency_cycles, llc_miss=False
-            )
+            return self._hit_results[2]
 
         # LLC miss: enforce inclusion on the LLC eviction.
         if evicted_line is not None:
@@ -81,9 +95,7 @@ class CacheHierarchy:
             self.l1.invalidate_line(evicted_line)
         return HierarchyResult(
             level=DRAM,
-            latency_cycles=(
-                self.config.llc.latency_cycles + self.config.miss_overhead_cycles
-            ),
+            latency_cycles=self.miss_latency,
             llc_miss=True,
             llc_evicted_line=evicted_line,
         )

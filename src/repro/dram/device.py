@@ -74,11 +74,13 @@ class DramDevice:
             self.config.timings.row_closed_cycles(self.clock),
             self.config.timings.row_conflict_cycles(self.clock),
         )
+        self._banks_per_rank = self.config.banks_per_rank
+        self._rows_per_bank = self.config.rows_per_bank
 
     # -- identifiers -----------------------------------------------------------
 
     def bank_id(self, coord: DramCoord) -> int:
-        return coord.rank * self.config.banks_per_rank + coord.bank
+        return coord.rank * self._banks_per_rank + coord.bank
 
     def row_id(self, coord: DramCoord) -> int:
         return self.bank_id(coord) * self.config.rows_per_bank + coord.row
@@ -119,25 +121,28 @@ class DramDevice:
     def _activate(self, coord: DramCoord, time_cycles: int) -> list[BitFlip]:
         """Row activation: restore this row, disturb its neighbours."""
         engine = self.refresh_engine
+        epoch = engine.epoch
+        disturb = self.tracker.disturb
         row_id = self.row_id(coord)
-        self.tracker.on_refresh(row_id, engine.epoch(row_id, time_cycles))
+        self.tracker.on_refresh(row_id, epoch(row_id, time_cycles))
         new_flips: list[BitFlip] = []
-        weights = self.config.disturbance.neighbor_weights
-        for distance, weight in enumerate(weights, start=1):
+        row = coord.row
+        rows_per_bank = self._rows_per_bank
+        for distance, weight in enumerate(
+            self.config.disturbance.neighbor_weights, start=1
+        ):
             for delta in (-distance, distance):
-                victim_row = coord.row + delta
-                if not 0 <= victim_row < self.config.rows_per_bank:
+                victim_row = row + delta
+                if not 0 <= victim_row < rows_per_bank:
                     continue
                 victim_id = row_id + delta
-                flips = self.tracker.disturb(
-                    victim_id,
-                    weight,
-                    engine.epoch(victim_id, time_cycles),
-                    time_cycles,
+                flips = disturb(
+                    victim_id, weight, epoch(victim_id, time_cycles), time_cycles
                 )
-                for flip in flips:
-                    self._row_flips.setdefault(victim_id, []).append(flip)
-                new_flips.extend(flips)
+                if flips:
+                    for flip in flips:
+                        self._row_flips.setdefault(victim_id, []).append(flip)
+                    new_flips.extend(flips)
         return new_flips
 
     def refresh_row(self, coord: DramCoord, time_cycles: int) -> int:

@@ -115,16 +115,6 @@ class DisturbanceTracker:
 
     # -- epoch bookkeeping ----------------------------------------------------
 
-    def _entry(self, row_id: int, epoch: int) -> list:
-        entry = self._state.get(row_id)
-        if entry is None:
-            entry = [0.0, epoch, 0]
-            self._state[row_id] = entry
-        elif entry[1] != epoch:
-            entry[0] = 0.0
-            entry[1] = epoch
-        return entry
-
     def units(self, row_id: int, epoch: int) -> float:
         """Current accumulated units for ``row_id`` in ``epoch``."""
         entry = self._state.get(row_id)
@@ -136,18 +126,40 @@ class DisturbanceTracker:
 
     def on_refresh(self, row_id: int, epoch: int) -> None:
         """The row was activated/refreshed: its charge is restored."""
-        entry = self._entry(row_id, epoch)
-        entry[0] = 0.0
+        entry = self._state.get(row_id)
+        if entry is None:
+            self._state[row_id] = [0.0, epoch, 0]
+        else:
+            entry[0] = 0.0
+            entry[1] = epoch
 
     def disturb(
         self, row_id: int, units: float, epoch: int, time_cycles: int
-    ) -> list[BitFlip]:
-        """Deposit ``units`` on ``row_id``; return any new bit flips."""
-        entry = self._entry(row_id, epoch)
-        entry[0] += units
+    ) -> tuple[BitFlip, ...] | list[BitFlip]:
+        """Deposit ``units`` on ``row_id``; return any new bit flips.
+
+        The hot no-flip path (almost every deposit) is a single threshold
+        compare against the row's first-bit threshold and returns a shared
+        empty tuple; the flip machinery only runs once that is crossed.
+        """
+        entry = self._state.get(row_id)
+        if entry is None:
+            entry = [units, epoch, 0]
+            self._state[row_id] = entry
+        elif entry[1] != epoch:
+            entry[0] = units
+            entry[1] = epoch
+        else:
+            entry[0] += units
         self.total_units_deposited += units
-        new_flips: list[BitFlip] = []
         flips_done = entry[2]
+        if flips_done >= self.config.max_flips_per_row or entry[0] < (
+            self.cells.threshold_for(row_id)
+        ):
+            # Every flip threshold is at least the first-bit threshold, so
+            # no further bit can flip yet.
+            return ()
+        new_flips: list[BitFlip] = []
         while flips_done < self.config.max_flips_per_row:
             needed = self.cells.flip_threshold(row_id, flips_done)
             if entry[0] < needed:

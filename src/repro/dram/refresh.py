@@ -32,10 +32,17 @@ class RefreshEngine:
         self.retention_cycles = timings.retention_cycles(clock)
         self.trefi_cycles = max(1, timings.trefi_cycles(clock))
         self.trfc_cycles = timings.trfc_cycles(clock)
+        # phase() is a pure function of the row id and is evaluated three
+        # times per activation (aggressor + both neighbours); memoise it.
+        self._phase_cache: dict[int, int] = {}
 
     def phase(self, row_id: int) -> int:
         """Cycle offset of ``row_id``'s refresh within the retention period."""
-        return (row_id * self.retention_cycles) // self.total_rows
+        phase = self._phase_cache.get(row_id)
+        if phase is None:
+            phase = (row_id * self.retention_cycles) // self.total_rows
+            self._phase_cache[row_id] = phase
+        return phase
 
     def epoch(self, row_id: int, time_cycles: int) -> int:
         """Index of the retention epoch ``row_id`` is in at ``time_cycles``.
@@ -43,7 +50,11 @@ class RefreshEngine:
         The accumulator-reset boundary between epochs is the row's refresh
         instant.  Times before the row's first refresh are epoch 0.
         """
-        shifted = time_cycles - self.phase(row_id)
+        phase = self._phase_cache.get(row_id)
+        if phase is None:
+            phase = (row_id * self.retention_cycles) // self.total_rows
+            self._phase_cache[row_id] = phase
+        shifted = time_cycles - phase
         if shifted < 0:
             return 0
         return 1 + shifted // self.retention_cycles

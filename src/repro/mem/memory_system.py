@@ -3,8 +3,10 @@
 This is the surface the simulated machine executes loads and stores
 against.  Each access:
 
-1. translates the virtual address (simple page-table walk, TLB not
-   modelled — its cost is folded into the per-level latencies);
+1. translates the virtual address (simple page-table walk; translation
+   *cost* is folded into the per-level latencies, but results are memoised
+   in a software TLB on :class:`~repro.mem.virtual.VirtualMemory`, which
+   the fast-path engine queries directly);
 2. walks the inclusive cache hierarchy;
 3. on an LLC miss, performs the DRAM access through the memory controller
    (which applies refresh blocking and runs defense observers);
@@ -81,6 +83,9 @@ class MemorySystem:
         self.pagemap = Pagemap(self.vm, restricted=self.config.pagemap_restricted)
         self.clflush_allowed = self.config.clflush_allowed
         self._listeners: list[Listener] = []
+        # The VM object is permanent; bind its translate once so the
+        # per-access path skips two attribute loads.
+        self._translate = self.vm.translate
 
     @property
     def mapping(self):
@@ -101,7 +106,7 @@ class MemorySystem:
 
     def access(self, vaddr: int, time_cycles: int, is_store: bool = False) -> MemoryAccess:
         """Execute one load or store; returns the full access record."""
-        paddr = self.vm.translate(vaddr)
+        paddr = self._translate(vaddr)
         return self.access_phys(paddr, time_cycles, is_store=is_store, vaddr=vaddr)
 
     def access_phys(
@@ -146,7 +151,7 @@ class MemorySystem:
         del time_cycles  # flush has no DRAM-side timing interaction here
         if not self.clflush_allowed:
             raise ClflushRestrictedError("CLFLUSH is disallowed on this machine")
-        paddr = self.vm.translate(vaddr)
+        paddr = self._translate(vaddr)
         return self.hierarchy.clflush(paddr)
 
     # -- untimed architectural data access ------------------------------------------

@@ -58,6 +58,7 @@ class VirtualMemory:
     def __init__(self, config: VmConfig) -> None:
         self.config = config
         self._page_bits = config.page_bytes.bit_length() - 1
+        self._offset_mask = config.page_bytes - 1
         first_frame = config.reserved_low_bytes >> self._page_bits
         total_frames = config.phys_bytes >> self._page_bits
         frames = list(range(first_frame, total_frames))
@@ -67,6 +68,11 @@ class VirtualMemory:
             frames.reverse()  # consumed from the end: keep ascending order
         self._free_frames = frames
         self._page_table: dict[int, int] = {}  # vpn -> pfn
+        # Software TLB: vpn -> pre-shifted frame base (pfn << page_bits),
+        # filled lazily by translate() and invalidated on remap.  The hit
+        # path is one dict lookup plus an OR, which is what the simulated
+        # machine's fast-path execution engine keys on.
+        self._tlb: dict[int, int] = {}
         self._next_vaddr = self.VBASE
 
     # -- allocation -----------------------------------------------------------
@@ -123,16 +129,34 @@ class VirtualMemory:
         pfn = paddr >> self._page_bits
         if pfn in self._free_frames:
             self._free_frames.remove(pfn)
-        self._page_table[vaddr >> self._page_bits] = pfn
+        vpn = vaddr >> self._page_bits
+        self._page_table[vpn] = pfn
+        # The page may have been translated before: drop any stale TLB entry.
+        self._tlb.pop(vpn, None)
 
     # -- translation -----------------------------------------------------------
 
     def translate(self, vaddr: int) -> int:
-        """Virtual -> physical, raising :class:`TranslationError` if unmapped."""
-        pfn = self._page_table.get(vaddr >> self._page_bits)
-        if pfn is None:
-            raise TranslationError(f"no mapping for virtual address {vaddr:#x}")
-        return (pfn << self._page_bits) | (vaddr & (self.config.page_bytes - 1))
+        """Virtual -> physical, raising :class:`TranslationError` if unmapped.
+
+        Translations are memoised in a software TLB (``_tlb``), so the hit
+        path is a single dict lookup; the page-table walk only runs the
+        first time a page is touched (or again after :meth:`map_fixed`
+        remaps it, which invalidates the entry).
+        """
+        vpn = vaddr >> self._page_bits
+        frame = self._tlb.get(vpn)
+        if frame is None:
+            pfn = self._page_table.get(vpn)
+            if pfn is None:
+                raise TranslationError(f"no mapping for virtual address {vaddr:#x}")
+            frame = pfn << self._page_bits
+            self._tlb[vpn] = frame
+        return frame | (vaddr & self._offset_mask)
+
+    def invalidate_tlb(self) -> None:
+        """Drop every memoised translation (full TLB shootdown)."""
+        self._tlb.clear()
 
     def is_mapped(self, vaddr: int) -> bool:
         return (vaddr >> self._page_bits) in self._page_table

@@ -26,6 +26,7 @@ from typing import Callable, Iterable
 from ..mem import MemoryAccess, MemorySystem, MemorySystemConfig
 from ..pmu import Event, Pmu
 from ..units import Clock
+from .fastpath import FAR_FUTURE, execute_fast
 from .ops import CLFLUSH, COMPUTE, LOAD, MFENCE, PAIR_LOAD, STORE, Op
 from .results import RunResult
 
@@ -56,6 +57,11 @@ class Machine:
         self.overhead_cycles = 0
         self._timers: list[tuple[int, int, TimerCallback]] = []
         self._timer_seq = 0
+        #: Cached deadline of the earliest pending timer (``FAR_FUTURE``
+        #: when none), so the per-op "is a timer due?" check is a single
+        #: int compare instead of a heap peek — the common zero-timer case
+        #: in :meth:`execute`/:meth:`consume` costs one comparison.
+        self._next_deadline = FAR_FUTURE
         self._pair_lcg = 0x2545F491
         self._access_hooks: list[Callable[[MemoryAccess, int], None]] = []
 
@@ -78,6 +84,8 @@ class Machine:
         ``deadline_cycles``."""
         self._timer_seq += 1
         heapq.heappush(self._timers, (deadline_cycles, self._timer_seq, callback))
+        if deadline_cycles < self._next_deadline:
+            self._next_deadline = deadline_cycles
 
     def schedule_in(self, delta_cycles: int, callback: TimerCallback) -> None:
         self.schedule_at(self.cycles + delta_cycles, callback)
@@ -88,11 +96,17 @@ class Machine:
     def cancel_timers(self) -> None:
         """Drop all pending timers (experiment teardown)."""
         self._timers.clear()
+        self._next_deadline = FAR_FUTURE
 
     def _fire_due_timers(self) -> None:
-        while self._timers and self._timers[0][0] <= self.cycles:
-            _, _, callback = heapq.heappop(self._timers)
+        if self.cycles < self._next_deadline:
+            return
+        timers = self._timers
+        while timers and timers[0][0] <= self.cycles:
+            _, _, callback = heapq.heappop(timers)
             callback(self)
+        # Callbacks may have rescheduled; the heap top is authoritative.
+        self._next_deadline = timers[0][0] if timers else FAR_FUTURE
 
     # -- access hooks -----------------------------------------------------------------
 
@@ -199,3 +213,21 @@ class Machine:
         result.new_flips = self.memory.flip_count() - start_flips
         result.overhead_cycles = self.overhead_cycles - start_overhead
         return result
+
+    def run_fast(
+        self,
+        ops: Iterable[Op],
+        max_cycles: int | None = None,
+        until: Callable[["Machine"], bool] | None = None,
+        check_every: int = 64,
+    ) -> RunResult:
+        """Execute ``ops`` through the fast-path engine.
+
+        Bit-for-bit equivalent to :meth:`run` — identical
+        :class:`RunResult`, PMU counters, cache/replacement state, and
+        flip outcomes for any op stream — but several times faster: state
+        is hoisted into locals and the per-access record allocation, heap
+        peek, and call-chain dispatch are skipped on the common paths (see
+        :mod:`repro.sim.fastpath`).
+        """
+        return execute_fast(self, ops, max_cycles=max_cycles, until=until, check_every=check_every)
