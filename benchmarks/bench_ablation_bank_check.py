@@ -5,6 +5,11 @@ thrashing: hammering needs at least two rows in one bank, while a single
 hot row is row-buffer-served and harmless.  This ablation removes the
 check and measures the false-positive cost across the SPEC suite, then
 confirms detection of a real attack still works *with* the check enabled.
+
+The 24 epoch cells (12 benchmarks x {with, without}) plus the live-attack
+cell run through the sweep runner; each benchmark keeps one derived seed
+across both configs so "removing the check multiplies false positives"
+is a paired comparison.
 """
 
 from __future__ import annotations
@@ -15,30 +20,21 @@ from repro.analysis import format_table
 from repro.attacks import DoubleSidedClflushAttack
 from repro.core import AnvilConfig, AnvilModule
 from repro.presets import small_machine
-from repro.sim.epoch import EpochModel
+from repro.runner import Job, derive_seed
+from repro.sim.epoch import run_epoch_cell
 from repro.units import MB
 from repro.workloads import SPEC2006_INT
 
-from _common import publish
+from _common import publish, sweep_runner
 
 HORIZON_S = 60.0
+ROOT_SEED = 23
 
 
-def run_ablation() -> dict:
-    with_check = {}
-    without_check = {}
-    for name, profile in SPEC2006_INT.items():
-        base_config = AnvilConfig.baseline()
-        with_check[name] = EpochModel(profile, base_config, seed=23).run(
-            HORIZON_S
-        ).fp_refreshes_per_sec
-        no_check = replace(base_config, bank_locality_check=False)
-        without_check[name] = EpochModel(profile, no_check, seed=23).run(
-            HORIZON_S
-        ).fp_refreshes_per_sec
-
-    # A real attack must still be detected with the check enabled.
-    machine = small_machine(threshold_min=30_000)
+def attack_detection_cell(seed: int) -> dict:
+    """A real attack against ANVIL with the bank check enabled: must be
+    detected and fully refreshed away."""
+    machine = small_machine(threshold_min=30_000, seed=seed)
     anvil = AnvilModule(
         machine,
         AnvilConfig(
@@ -47,13 +43,51 @@ def run_ablation() -> dict:
         ),
     )
     anvil.install()
-    attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB)
+    attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB, seed=seed)
     result = attack.run(machine, max_ms=10, stop_on_flip=False)
+    return {
+        "flips": result.flips,
+        "detections": anvil.stats.detection_count,
+    }
+
+
+def ablation_jobs() -> list[Job]:
+    base_config = AnvilConfig.baseline()
+    no_check = replace(base_config, bank_locality_check=False)
+    jobs = [
+        Job.of(
+            run_epoch_cell,
+            key=f"bankcheck/{variant}/{name}",
+            seed=derive_seed(ROOT_SEED, f"bankcheck/{name}"),
+            benchmark=name,
+            config=config,
+            horizon_s=HORIZON_S,
+        )
+        for variant, config in (("with", base_config), ("without", no_check))
+        for name in SPEC2006_INT
+    ]
+    jobs.append(Job.of(attack_detection_cell, key="bankcheck/attack"))
+    return jobs
+
+
+def run_ablation(jobs: int | None = None) -> dict:
+    results = {
+        r.key: r.value for r in sweep_runner(ROOT_SEED, jobs=jobs).run(ablation_jobs())
+    }
+    with_check = {
+        name: results[f"bankcheck/with/{name}"].fp_refreshes_per_sec
+        for name in SPEC2006_INT
+    }
+    without_check = {
+        name: results[f"bankcheck/without/{name}"].fp_refreshes_per_sec
+        for name in SPEC2006_INT
+    }
+    attack = results["bankcheck/attack"]
     return {
         "with": with_check,
         "without": without_check,
-        "attack_flips": result.flips,
-        "attack_detections": anvil.stats.detection_count,
+        "attack_flips": attack["flips"],
+        "attack_detections": attack["detections"],
     }
 
 

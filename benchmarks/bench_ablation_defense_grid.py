@@ -3,6 +3,9 @@
 Every mitigation the paper discusses, against both double-sided attacks,
 on the scaled test module.  The deployed software mitigations must each
 fail somewhere; PARA/TRR/ARMOR and ANVIL must stop everything they see.
+
+The 16 (defense x attack) cells are independent sweep-runner jobs, so
+``--jobs N`` runs the grid on a process pool with identical verdicts.
 """
 
 from __future__ import annotations
@@ -13,12 +16,14 @@ from repro.core import AnvilConfig, AnvilModule
 from repro.defenses import Armor, Para, TargetedRowRefresh
 from repro.errors import ClflushRestrictedError, PagemapRestrictedError
 from repro.presets import small_machine
+from repro.runner import Job
 from repro.units import MB
 
-from _common import publish
+from _common import publish, sweep_runner
 
 THRESHOLD = 30_000
 BUF = 16 * MB
+ROOT_SEED = 37
 ANVIL_CONFIG = AnvilConfig(
     llc_miss_threshold=3_300, tc_ms=1.0, ts_ms=1.0,
     sampling_rate_hz=50_000, assumed_flip_accesses=30_000,
@@ -29,9 +34,14 @@ GRID = (
     "para", "trr", "armor", "anvil",
 )
 
+ATTACKS = {
+    "clflush": DoubleSidedClflushAttack,
+    "clflush-free": ClflushFreeAttack,
+}
 
-def run_cell(defense: str, attack_cls) -> str:
-    kwargs = {"threshold_min": THRESHOLD}
+
+def run_cell(defense: str, attack: str, seed: int) -> str:
+    kwargs = {"threshold_min": THRESHOLD, "seed": seed}
     if defense == "double-refresh":
         kwargs["refresh_scale"] = 2.0
     elif defense == "clflush-ban":
@@ -49,9 +59,9 @@ def run_cell(defense: str, attack_cls) -> str:
     if defense == "anvil":
         anvil = AnvilModule(machine, ANVIL_CONFIG)
         anvil.install()
-    attack = attack_cls(buffer_bytes=BUF)
+    attack_obj = ATTACKS[attack](buffer_bytes=BUF, seed=seed)
     try:
-        result = attack.run(machine, max_ms=20, stop_on_flip=(anvil is None))
+        result = attack_obj.run(machine, max_ms=20, stop_on_flip=(anvil is None))
     except ClflushRestrictedError:
         return "blocked"
     except PagemapRestrictedError:
@@ -59,14 +69,21 @@ def run_cell(defense: str, attack_cls) -> str:
     return "FLIPS" if result.flips else "protected"
 
 
-def run_grid() -> dict[tuple[str, str], str]:
+def grid_jobs() -> list[Job]:
+    return [
+        Job.of(run_cell, key=f"grid/{defense}/{attack}",
+               defense=defense, attack=attack)
+        for defense in GRID
+        for attack in ATTACKS
+    ]
+
+
+def run_grid(jobs: int | None = None) -> dict[tuple[str, str], str]:
+    results = sweep_runner(ROOT_SEED, jobs=jobs).run(grid_jobs())
     cells = {}
-    for defense in GRID:
-        for label, attack_cls in (
-            ("clflush", DoubleSidedClflushAttack),
-            ("clflush-free", ClflushFreeAttack),
-        ):
-            cells[(defense, label)] = run_cell(defense, attack_cls)
+    for job_result in results:
+        _, defense, attack = job_result.key.split("/")
+        cells[(defense, attack)] = job_result.value
     return cells
 
 

@@ -7,6 +7,10 @@ factor, reporting refresh power, throughput loss, and whether the
 double-sided attack still flips — then contrasts ANVIL's selective-
 refresh energy, which achieves the protection at numerically negligible
 refresh power.
+
+Each refresh factor plus the ANVIL contrast cell is one sweep-runner job;
+all attack cells share a derived seed so the flip/no-flip boundary is a
+paired comparison across refresh rates.
 """
 
 from __future__ import annotations
@@ -17,52 +21,84 @@ from repro.dram.config import DramTimings
 from repro.presets import small_machine
 from repro.attacks import DoubleSidedClflushAttack
 from repro.core import AnvilConfig, AnvilModule
+from repro.runner import Job, derive_seed
 from repro.units import MB
 
-from _common import publish
+from _common import publish, sweep_runner
 
 FACTORS = (1.0, 2.0, 4.0, 64.0 / 15.0)
+ROOT_SEED = 41
 
 
-def run_sweep() -> dict:
+def factor_cell(factor: float, seed: int) -> dict:
     model = DramPowerModel()
-    base = DramTimings()
-    rows = []
-    for factor in FACTORS:
-        timings = base.scaled_refresh(factor)
-        power_w = model.refresh_power_w(timings)
-        loss = timings.trfc_ns / timings.trefi_ns
-        # Does a fast attack still flip at this refresh rate?  (Scaled
-        # module: flips need 30K units, ~4.5 ms of hammering.)
-        machine = small_machine(threshold_min=30_000, refresh_scale=factor)
-        attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB)
-        result = attack.run(machine, max_ms=40)
-        rows.append([
-            f"x{factor:.2f}",
-            f"{timings.retention_ms:.1f} ms",
-            f"{power_w * 1e3:.1f} mW",
-            f"{loss:.1%}",
-            "FLIPS" if result.flipped else "protected",
-        ])
+    timings = DramTimings().scaled_refresh(factor)
+    # Does a fast attack still flip at this refresh rate?  (Scaled
+    # module: flips need 30K units, ~4.5 ms of hammering.)
+    machine = small_machine(
+        threshold_min=30_000, refresh_scale=factor, seed=seed
+    )
+    attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB, seed=seed)
+    result = attack.run(machine, max_ms=40)
+    return {
+        "factor": factor,
+        "retention_ms": timings.retention_ms,
+        "power_w": model.refresh_power_w(timings),
+        "loss": timings.trfc_ns / timings.trefi_ns,
+        "flipped": result.flipped,
+    }
 
-    # ANVIL achieves protection with selective refreshes instead.
-    machine = small_machine(threshold_min=30_000)
+
+def anvil_cell(seed: int) -> dict:
+    """ANVIL achieves the protection with selective refreshes instead."""
+    model = DramPowerModel()
+    machine = small_machine(threshold_min=30_000, seed=seed)
     anvil = AnvilModule(machine, AnvilConfig(
         llc_miss_threshold=3_300, tc_ms=1.0, ts_ms=1.0,
         sampling_rate_hz=50_000, assumed_flip_accesses=30_000,
     ))
     anvil.install()
-    attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB)
+    attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB, seed=seed)
     result = attack.run(machine, max_ms=40, stop_on_flip=False)
     elapsed_s = machine.clock.s_from_cycles(machine.cycles)
-    anvil_refresh_w = model.selective_refresh_power_w(
-        anvil.stats.selective_refreshes / elapsed_s
-    )
+    return {
+        "flips": result.flips,
+        "refresh_w": model.selective_refresh_power_w(
+            anvil.stats.selective_refreshes / elapsed_s
+        ),
+    }
+
+
+def power_jobs() -> list[Job]:
+    seed = derive_seed(ROOT_SEED, "refresh/attack")
+    jobs = [
+        Job.of(factor_cell, key=f"refresh/{factor}", seed=seed, factor=factor)
+        for factor in FACTORS
+    ]
+    jobs.append(Job.of(anvil_cell, key="refresh/anvil", seed=seed))
+    return jobs
+
+
+def run_sweep(jobs: int | None = None) -> dict:
+    results = {
+        r.key: r.value for r in sweep_runner(ROOT_SEED, jobs=jobs).run(power_jobs())
+    }
+    rows = []
+    for factor in FACTORS:
+        cell = results[f"refresh/{factor}"]
+        rows.append([
+            f"x{factor:.2f}",
+            f"{cell['retention_ms']:.1f} ms",
+            f"{cell['power_w'] * 1e3:.1f} mW",
+            f"{cell['loss']:.1%}",
+            "FLIPS" if cell["flipped"] else "protected",
+        ])
+    anvil = results["refresh/anvil"]
     return {
         "rows": rows,
-        "anvil_flips": result.flips,
-        "anvil_refresh_w": anvil_refresh_w,
-        "base_refresh_w": model.refresh_power_w(base),
+        "anvil_flips": anvil["flips"],
+        "anvil_refresh_w": anvil["refresh_w"],
+        "base_refresh_w": DramPowerModel().refresh_power_w(DramTimings()),
     }
 
 

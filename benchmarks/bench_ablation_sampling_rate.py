@@ -5,6 +5,10 @@ samples make stage 2 cheaper but starve the locality analysis (a row
 needs ``min_row_samples`` hits to be flagged); more samples cost PMI time
 linearly.  The sweep measures detection latency against a live attack and
 benign overhead per rate.
+
+Each rate is one sweep-runner cell; all four cells share a single derived
+seed so the "overhead grows monotonically with rate" claim compares the
+same miss-stream draws under different sampling duty.
 """
 
 from __future__ import annotations
@@ -15,15 +19,17 @@ from repro.analysis import format_table
 from repro.attacks import DoubleSidedClflushAttack
 from repro.core import AnvilConfig, AnvilModule
 from repro.presets import small_machine
+from repro.runner import Job, derive_seed
 from repro.sim.epoch import EpochModel
 from repro.units import MB
 from repro.workloads import spec_profile
 
-from _common import publish
+from _common import publish, sweep_runner
 
 #: Rates scaled to the small machine's 1 ms windows the same way the demo
 #: config scales the paper's 5000/s at 6 ms (=30 samples/window).
 RATES_PER_S = (10_000, 30_000, 50_000, 100_000)
+ROOT_SEED = 31
 
 BASE = AnvilConfig(
     llc_miss_threshold=3_300, tc_ms=1.0, ts_ms=1.0,
@@ -31,33 +37,44 @@ BASE = AnvilConfig(
 )
 
 
-def run_sweep() -> list[dict]:
-    results = []
-    for rate in RATES_PER_S:
-        config = replace(BASE, sampling_rate_hz=rate)
-        machine = small_machine(threshold_min=30_000)
-        anvil = AnvilModule(machine, config)
-        anvil.install()
-        attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB)
-        result = attack.run(machine, max_ms=15, stop_on_flip=False)
-        # Benign overhead at the equivalent paper-scale rate: scale the
-        # sample count per window through the epoch model.
-        paper_rate = rate / 10  # 6 ms windows hold 6x the samples of 1 ms
-        epoch_config = replace(
-            AnvilConfig.baseline(), sampling_rate_hz=paper_rate
-        )
-        overhead = EpochModel(
-            spec_profile("mcf"), epoch_config, seed=31
-        ).run(20.0).overhead_fraction
-        results.append({
-            "rate": rate,
-            "samples_per_window": rate * config.ts_ms / 1e3,
-            "detect_ms": anvil.first_detection_ms(),
-            "flips": result.flips,
-            "detections": anvil.stats.detection_count,
-            "mcf_overhead": overhead,
-        })
-    return results
+def rate_cell(rate: int, seed: int) -> dict:
+    config = replace(BASE, sampling_rate_hz=rate)
+    machine = small_machine(threshold_min=30_000, seed=seed)
+    anvil = AnvilModule(machine, config)
+    anvil.install()
+    attack = DoubleSidedClflushAttack(buffer_bytes=16 * MB, seed=seed)
+    result = attack.run(machine, max_ms=15, stop_on_flip=False)
+    # Benign overhead at the equivalent paper-scale rate: scale the
+    # sample count per window through the epoch model.
+    paper_rate = rate / 10  # 6 ms windows hold 6x the samples of 1 ms
+    epoch_config = replace(
+        AnvilConfig.baseline(), sampling_rate_hz=paper_rate
+    )
+    overhead = EpochModel(
+        spec_profile("mcf"), epoch_config, seed=seed
+    ).run(20.0).overhead_fraction
+    return {
+        "rate": rate,
+        "samples_per_window": rate * config.ts_ms / 1e3,
+        "detect_ms": anvil.first_detection_ms(),
+        "flips": result.flips,
+        "detections": anvil.stats.detection_count,
+        "mcf_overhead": overhead,
+    }
+
+
+def rate_jobs() -> list[Job]:
+    # One shared seed: the monotone-overhead claim is a paired comparison
+    # of the same draws under different sampling duty.
+    seed = derive_seed(ROOT_SEED, "sampling/cell")
+    return [
+        Job.of(rate_cell, key=f"sampling/{rate}", seed=seed, rate=rate)
+        for rate in RATES_PER_S
+    ]
+
+
+def run_sweep(jobs: int | None = None) -> list[dict]:
+    return sweep_runner(ROOT_SEED, jobs=jobs).values(rate_jobs())
 
 
 def test_sampling_rate_sweep(benchmark):

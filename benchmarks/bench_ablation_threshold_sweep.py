@@ -7,6 +7,10 @@ retention window to flip the paper's cells (Section 4.5's "ANVIL-light"
 reasoning).  The sweep reports, per threshold: average/peak SPEC overhead,
 total false positives, and the minimum per-64 ms access budget a stealthy
 attacker is left with.
+
+The (threshold x benchmark) grid — 48 epoch-model cells — runs through
+the sweep runner; every threshold sees each benchmark under the same
+derived seed, so the monotone-overhead claim stays a paired comparison.
 """
 
 from __future__ import annotations
@@ -16,29 +20,46 @@ from dataclasses import replace
 from repro.analysis import format_table
 from repro.analysis.metrics import normalized_times_summary
 from repro.core import AnvilConfig
-from repro.sim.epoch import EpochModel
+from repro.runner import Job, derive_seed
+from repro.sim.epoch import run_epoch_cell
 from repro.workloads import SPEC2006_INT
 
-from _common import publish
+from _common import publish, sweep_runner
 
 THRESHOLDS = (5_000, 10_000, 20_000, 40_000)
 HORIZON_S = 30.0
+ROOT_SEED = 29
 
 
-def run_sweep() -> list[dict]:
+def threshold_jobs() -> list[Job]:
+    return [
+        Job.of(
+            run_epoch_cell,
+            key=f"thresh/{threshold}/{name}",
+            seed=derive_seed(ROOT_SEED, f"thresh/{name}"),
+            benchmark=name,
+            config=replace(
+                AnvilConfig.baseline(), llc_miss_threshold=threshold
+            ),
+            horizon_s=HORIZON_S,
+        )
+        for threshold in THRESHOLDS
+        for name in SPEC2006_INT
+    ]
+
+
+def run_sweep(jobs: int | None = None) -> list[dict]:
+    cell_results = sweep_runner(ROOT_SEED, jobs=jobs).values(threshold_jobs())
+    per_threshold = len(SPEC2006_INT)
     results = []
-    for threshold in THRESHOLDS:
-        config = replace(AnvilConfig.baseline(), llc_miss_threshold=threshold)
-        times = {}
-        fp_total = 0.0
-        for name, profile in SPEC2006_INT.items():
-            run = EpochModel(profile, config, seed=29).run(HORIZON_S)
-            times[name] = run.normalized_time
-            fp_total += run.fp_refreshes_per_sec
+    for t_index, threshold in enumerate(THRESHOLDS):
+        runs = cell_results[t_index * per_threshold:(t_index + 1) * per_threshold]
+        times = {run.benchmark: run.normalized_time for run in runs}
+        fp_total = sum(run.fp_refreshes_per_sec for run in runs)
         summary = normalized_times_summary(times)
         # An attacker staying just under the threshold gets at most this
         # many misses per 64 ms refresh period.
-        stealth_budget = threshold * 64.0 / config.tc_ms
+        stealth_budget = threshold * 64.0 / AnvilConfig.baseline().tc_ms
         results.append({
             "threshold": threshold,
             "avg": summary["average_slowdown"],

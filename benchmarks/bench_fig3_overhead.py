@@ -6,31 +6,49 @@ to an unprotected 64 ms-refresh system.  Paper headline numbers: ANVIL
 peak 3.18%, average 1.17%; double refresh hurts memory-intensive
 workloads (mcf) most while ANVIL's cost concentrates on the benchmarks
 that cross the stage-1 threshold 95-99% of the time.
+
+The 12 epoch cells run through the sweep runner with per-benchmark seeds
+derived from ``ROOT_SEED`` (double-refresh times are closed-form, so they
+need no cells).
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_figure_series
 from repro.analysis.metrics import normalized_times_summary
-from repro.core import AnvilConfig
-from repro.sim.epoch import EpochModel, double_refresh_normalized_time
-from repro.workloads import SPEC2006_INT
+from repro.runner import Job
+from repro.sim.epoch import double_refresh_normalized_time, run_epoch_cell
+from repro.workloads import SPEC2006_INT, spec_profile
 
-from _common import publish
+from _common import publish, sweep_runner
 
 HORIZON_S = 60.0
+ROOT_SEED = 17
 HIGH_TRIGGER = ("libquantum", "mcf", "omnetpp", "xalancbmk")
 LOW_TRIGGER = ("h264ref", "gobmk", "sjeng", "hmmer")
 
 
-def run_fig3() -> dict[str, dict[str, float]]:
+def fig3_jobs() -> list[Job]:
+    return [
+        Job.of(
+            run_epoch_cell,
+            key=f"fig3/{name}",
+            benchmark=name,
+            horizon_s=HORIZON_S,
+        )
+        for name in SPEC2006_INT
+    ]
+
+
+def run_fig3(jobs: int | None = None) -> dict[str, dict[str, float]]:
+    results = sweep_runner(ROOT_SEED, jobs=jobs).values(fig3_jobs())
     anvil: dict[str, float] = {}
     double: dict[str, float] = {}
     triggers: dict[str, float] = {}
-    for name, profile in SPEC2006_INT.items():
-        result = EpochModel(profile, AnvilConfig.baseline(), seed=17).run(HORIZON_S)
+    for result in results:
+        name = result.benchmark
         anvil[name] = result.normalized_time
-        double[name] = double_refresh_normalized_time(profile)
+        double[name] = double_refresh_normalized_time(spec_profile(name))
         triggers[name] = result.trigger_fraction
     return {"ANVIL": anvil, "Double Refresh": double, "_triggers": triggers}
 

@@ -7,17 +7,20 @@ Paper values (superfluous selective refreshes per second):
     omnetpp 0.02 perlbench 0.00  sjeng 0.00   xalancbmk 0.05
 
 Long-horizon runs use the window-level epoch model, which shares the
-stage-2 locality analyser with the kernel module (see DESIGN.md).
+stage-2 locality analyser with the kernel module (see DESIGN.md).  The
+12-benchmark grid executes through the sweep runner (``--jobs N`` for a
+process pool; results are cached and bit-identical at any worker count).
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_table
 from repro.core import AnvilConfig
-from repro.sim.epoch import EpochModel
+from repro.runner import Job
+from repro.sim.epoch import run_epoch_cell
 from repro.workloads import SPEC2006_INT
 
-from _common import anvil_table2_text, publish
+from _common import anvil_table2_text, publish, sweep_runner
 
 PAPER_FP = {
     "astar": 0.10, "bzip2": 1.05, "gcc": 0.71, "gobmk": 0.19,
@@ -26,19 +29,33 @@ PAPER_FP = {
 }
 
 HORIZON_S = 120.0
+ROOT_SEED = 11
 
 
-def run_table4() -> list[list[str]]:
-    rows = []
-    for name, profile in SPEC2006_INT.items():
-        result = EpochModel(profile, AnvilConfig.baseline(), seed=11).run(HORIZON_S)
-        rows.append([
-            name,
+def table4_jobs() -> list[Job]:
+    return [
+        Job.of(
+            run_epoch_cell,
+            key=f"table4/{name}",
+            benchmark=name,
+            config=AnvilConfig.baseline(),
+            horizon_s=HORIZON_S,
+        )
+        for name in SPEC2006_INT
+    ]
+
+
+def run_table4(jobs: int | None = None) -> list[list[str]]:
+    results = sweep_runner(ROOT_SEED, jobs=jobs).values(table4_jobs())
+    return [
+        [
+            result.benchmark,
             f"{result.fp_refreshes_per_sec:.2f}",
-            f"{PAPER_FP[name]:.2f}",
+            f"{PAPER_FP[result.benchmark]:.2f}",
             f"{result.trigger_fraction:.0%}",
-        ])
-    return rows
+        ]
+        for result in results
+    ]
 
 
 def test_table4_false_positive_refreshes(benchmark):

@@ -13,16 +13,20 @@ Directional claims under test: ANVIL-light (halved stage-1 threshold,
 halved hot-row cutoff) raises false positives relative to baseline;
 ANVIL-heavy (2 ms windows, ~10 samples) lowers them for most benchmarks
 because short windows rarely accumulate high-locality samples.
+
+The 5x3 (benchmark x config) grid runs through the sweep runner; each
+benchmark's three configs share one derived seed so the light-vs-baseline
+and heavy-vs-light claims stay paired comparisons.
 """
 
 from __future__ import annotations
 
-from repro.analysis import format_table
 from repro.core import AnvilConfig
-from repro.sim.epoch import EpochModel
-from repro.workloads import spec_profile
+from repro.analysis import format_table
+from repro.runner import Job, derive_seed
+from repro.sim.epoch import run_epoch_cell
 
-from _common import publish
+from _common import publish, sweep_runner
 
 PAPER = {
     "bzip2": (1.61, 1.09),
@@ -33,23 +37,39 @@ PAPER = {
 }
 
 HORIZON_S = 120.0
+ROOT_SEED = 13
+
+CONFIGS = (
+    ("baseline", AnvilConfig.baseline, "ANVIL-baseline"),
+    ("light", AnvilConfig.light, "ANVIL-light"),
+    ("heavy", AnvilConfig.heavy, "ANVIL-heavy"),
+)
 
 
-def run_table5() -> dict[str, dict[str, float]]:
+def table5_jobs() -> list[Job]:
+    return [
+        Job.of(
+            run_epoch_cell,
+            key=f"table5/{label}/{name}",
+            seed=derive_seed(ROOT_SEED, f"table5/{name}"),
+            benchmark=name,
+            config=factory(),
+            config_name=config_name,
+            horizon_s=HORIZON_S,
+        )
+        for name in PAPER
+        for label, factory, config_name in CONFIGS
+    ]
+
+
+def run_table5(jobs: int | None = None) -> dict[str, dict[str, float]]:
+    runner_results = sweep_runner(ROOT_SEED, jobs=jobs).run(table5_jobs())
     results: dict[str, dict[str, float]] = {}
-    for name in PAPER:
-        profile = spec_profile(name)
-        results[name] = {
-            "baseline": EpochModel(
-                profile, AnvilConfig.baseline(), seed=13
-            ).run(HORIZON_S).fp_refreshes_per_sec,
-            "light": EpochModel(
-                profile, AnvilConfig.light(), config_name="ANVIL-light", seed=13
-            ).run(HORIZON_S).fp_refreshes_per_sec,
-            "heavy": EpochModel(
-                profile, AnvilConfig.heavy(), config_name="ANVIL-heavy", seed=13
-            ).run(HORIZON_S).fp_refreshes_per_sec,
-        }
+    for job_result in runner_results:
+        _, label, name = job_result.key.split("/")
+        results.setdefault(name, {})[label] = (
+            job_result.value.fp_refreshes_per_sec
+        )
     return results
 
 

@@ -30,9 +30,10 @@ from .attacks import (
 from .core import AnvilConfig, AnvilModule
 from .errors import ReproError
 from .presets import small_machine
-from .sim.epoch import EpochModel, double_refresh_normalized_time
+from .runner import Job, SweepRunner, derive_seed
+from .sim.epoch import double_refresh_normalized_time, run_epoch_cell
 from .units import MB
-from .workloads import SPEC2006_INT
+from .workloads import SPEC2006_INT, spec_profile
 
 ATTACKS = {
     "single-sided": SingleSidedClflushAttack,
@@ -70,6 +71,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     overhead = sub.add_parser("spec-overhead", help="Figure 3 / Table 4 study")
     overhead.add_argument("--seconds", type=float, default=20.0)
+    overhead.add_argument("--jobs", type=int, default=None,
+                          help="worker processes for the sweep (0 = one per "
+                               "CPU; default: $REPRO_JOBS or serial)")
+    overhead.add_argument("--seed", type=int, default=0,
+                          help="root seed; per-benchmark seeds derive from it")
 
     probe = sub.add_parser("probe-policy",
                            help="reverse-engineer the LLC replacement policy")
@@ -155,13 +161,23 @@ def _cmd_defense_grid(_args: argparse.Namespace) -> int:
 
 
 def _cmd_spec_overhead(args: argparse.Namespace) -> int:
+    cells = [
+        Job.of(
+            run_epoch_cell,
+            key=f"spec-overhead/{name}",
+            seed=derive_seed(args.seed, f"spec-overhead/{name}"),
+            benchmark=name,
+            horizon_s=args.seconds,
+        )
+        for name in SPEC2006_INT
+    ]
+    runs = SweepRunner(jobs=args.jobs, root_seed=args.seed).values(cells)
     rows = []
-    for name, profile in SPEC2006_INT.items():
-        run = EpochModel(profile, AnvilConfig.baseline()).run(args.seconds)
+    for name, run in zip(SPEC2006_INT, runs):
         rows.append([
             name,
             f"{run.normalized_time:.4f}",
-            f"{double_refresh_normalized_time(profile):.4f}",
+            f"{double_refresh_normalized_time(spec_profile(name)):.4f}",
             f"{run.fp_refreshes_per_sec:.2f}",
             f"{run.trigger_fraction:.0%}",
         ])

@@ -118,6 +118,96 @@ class DramDevice:
             new_flips=tuple(flips),
         )
 
+    def access_miss_fast(
+        self, coord: DramCoord, bank: int, time_cycles: int
+    ) -> tuple[int, int]:
+        """The row-buffer-miss arm of :meth:`access` with *caller-deferred
+        statistics* and no per-access allocations.
+
+        Returns ``(latency_cycles, new_flip_count)``.  Used only by the
+        fast-path engine (:mod:`repro.sim.fastpath`), which has already
+        ruled out a row hit and takes over the ``accesses`` /
+        ``activations`` / per-bank stats bookkeeping; the disturbance
+        arithmetic below is the same statement sequence as
+        :meth:`_activate` + :meth:`~repro.dram.disturbance.DisturbanceTracker.disturb`
+        (same float accumulation order, same flip machinery via
+        ``emit_flips``), so device state stays bit-identical to the
+        reference path.  In the steady state it allocates nothing: no
+        :class:`RowAccess`, no flip list, no per-victim method calls.
+        """
+        open_row = self._open_rows[bank]
+        latency = self._timings_cycles[1] if open_row is None else self._timings_cycles[2]
+        row = coord.row
+        self._open_rows[bank] = row
+
+        engine = self.refresh_engine
+        retention = engine.retention_cycles
+        total_rows = engine.total_rows
+        phase_cache = engine._phase_cache
+        rows_per_bank = self._rows_per_bank
+        row_id = bank * rows_per_bank + row
+        tracker = self.tracker
+        state = tracker._state
+
+        # Aggressor restore (tracker.on_refresh with the epoch inlined).
+        phase = phase_cache.get(row_id)
+        if phase is None:
+            phase = (row_id * retention) // total_rows
+            phase_cache[row_id] = phase
+        shifted = time_cycles - phase
+        epoch = 0 if shifted < 0 else 1 + shifted // retention
+        entry = state.get(row_id)
+        if entry is None:
+            state[row_id] = [0.0, epoch, 0]
+        else:
+            entry[0] = 0.0
+            entry[1] = epoch
+
+        # Neighbour disturbance (tracker.disturb inlined per victim).
+        disturbance = self.config.disturbance
+        max_flips = disturbance.max_flips_per_row
+        threshold_get = self.cells._threshold_cache.get
+        flips_n = 0
+        distance = 0
+        for weight in disturbance.neighbor_weights:
+            distance += 1
+            for delta in (-distance, distance):
+                victim_row = row + delta
+                if not 0 <= victim_row < rows_per_bank:
+                    continue
+                victim_id = row_id + delta
+                phase = phase_cache.get(victim_id)
+                if phase is None:
+                    phase = (victim_id * retention) // total_rows
+                    phase_cache[victim_id] = phase
+                shifted = time_cycles - phase
+                vepoch = 0 if shifted < 0 else 1 + shifted // retention
+                entry = state.get(victim_id)
+                if entry is None:
+                    entry = [weight, vepoch, 0]
+                    state[victim_id] = entry
+                elif entry[1] != vepoch:
+                    entry[0] = weight
+                    entry[1] = vepoch
+                else:
+                    entry[0] += weight
+                tracker.total_units_deposited += weight
+                if entry[2] < max_flips:
+                    threshold = threshold_get(victim_id)
+                    if threshold is None:
+                        threshold = self.cells.threshold_for(victim_id)
+                    if entry[0] >= threshold:
+                        flips = tracker.emit_flips(victim_id, entry, time_cycles)
+                        if flips:
+                            row_flips = self._row_flips
+                            bucket = row_flips.get(victim_id)
+                            if bucket is None:
+                                row_flips[victim_id] = list(flips)
+                            else:
+                                bucket.extend(flips)
+                            flips_n += len(flips)
+        return latency, flips_n
+
     def _activate(self, coord: DramCoord, time_cycles: int) -> list[BitFlip]:
         """Row activation: restore this row, disturb its neighbours."""
         engine = self.refresh_engine

@@ -159,6 +159,16 @@ class DisturbanceTracker:
             # Every flip threshold is at least the first-bit threshold, so
             # no further bit can flip yet.
             return ()
+        return self.emit_flips(row_id, entry, time_cycles)
+
+    def emit_flips(
+        self, row_id: int, entry: list, time_cycles: int
+    ) -> list[BitFlip]:
+        """Materialise every bit whose threshold ``entry``'s units now
+        cross.  Shared by :meth:`disturb` and the fast-path activation in
+        :meth:`repro.dram.device.DramDevice.access_miss_fast`; callers
+        have already checked the first-bit threshold."""
+        flips_done = entry[2]
         new_flips: list[BitFlip] = []
         while flips_done < self.config.max_flips_per_row:
             needed = self.cells.flip_threshold(row_id, flips_done)

@@ -1,0 +1,41 @@
+"""Declarative sweep execution: jobs, deterministic seeds, process pools,
+and incremental result caching.
+
+Every reproduced figure/table iterates a (config x workload x seed) grid
+of independent, seeded simulations.  This package turns such a grid into
+a list of :class:`Job` cells and executes it with :class:`SweepRunner`:
+serially, across a process pool, or straight from the on-disk result
+cache — always producing the identical, input-ordered result list.
+
+Quick form::
+
+    from repro.runner import Job, SweepRunner
+
+    jobs = [
+        Job.of(my_cell, key=f"{cfg}/{wl}", config=cfg, workload=wl)
+        for cfg in configs for wl in workloads
+    ]
+    values = SweepRunner(jobs=4, root_seed=7, cache=".cache").values(jobs)
+"""
+
+from .cache import ResultCache, code_fingerprint
+from .job import Job, JobResult, callable_spec, resolve_callable, run_job
+from .runner import JOBS_ENV, SweepRunner, default_jobs
+from .seeding import canonical_repr, derive_seed, stable_digest, stable_hash
+
+__all__ = [
+    "JOBS_ENV",
+    "Job",
+    "JobResult",
+    "ResultCache",
+    "SweepRunner",
+    "callable_spec",
+    "canonical_repr",
+    "code_fingerprint",
+    "default_jobs",
+    "derive_seed",
+    "resolve_callable",
+    "run_job",
+    "stable_digest",
+    "stable_hash",
+]

@@ -1,0 +1,129 @@
+"""Incremental on-disk result cache for sweep cells.
+
+Each completed cell's return value is pickled under a key that is a
+stable hash of (callable spec, params, seed, code fingerprint).  The code
+fingerprint covers the ``repro`` package sources *and* the module that
+defines the cell function, so editing either invalidates exactly the
+cells whose behaviour could have changed — re-running a sweep recomputes
+only changed cells.
+
+Writes are atomic (tmp file + ``os.replace``) so concurrent workers and
+parallel bench runs can never observe a torn entry; a corrupt or
+unreadable entry degrades to a cache miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from .seeding import stable_digest
+
+#: Memoised source fingerprints, keyed by directory/file path.
+_fingerprints: dict[str, str] = {}
+
+
+def _hash_tree(root: Path) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def code_fingerprint(extra_module_file: str | None = None) -> str:
+    """Hex digest of the ``repro`` sources (+ one extra module's source).
+
+    Computed once per process per path; a sweep's cache entries survive
+    exactly as long as the code that produced them is byte-identical.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    key = str(package_root)
+    tree = _fingerprints.get(key)
+    if tree is None:
+        tree = _hash_tree(package_root)
+        _fingerprints[key] = tree
+    if not extra_module_file:
+        return tree
+    extra = _fingerprints.get(extra_module_file)
+    if extra is None:
+        try:
+            extra = hashlib.sha256(Path(extra_module_file).read_bytes()).hexdigest()
+        except OSError:
+            extra = "unreadable"
+        _fingerprints[extra_module_file] = extra
+    return f"{tree}-{extra}"
+
+
+class ResultCache:
+    """Pickle-per-entry cache directory (default layout:
+    ``benchmarks/results/.cache/<key>.pkl``)."""
+
+    #: Sentinel distinguishing "miss" from a cached ``None`` value.
+    MISS = object()
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key_for(
+        self, fn_spec: str, params: tuple, seed: int | None,
+        fingerprint: str = "",
+    ) -> str:
+        return stable_digest("cell", fn_spec, params, seed, fingerprint)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or :data:`MISS`."""
+        try:
+            with self._path(key).open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            self.misses += 1
+            return self.MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Self-ignoring directory, pytest-cache style: cached cells are
+        # derived data and must never be committed.
+        marker = self.directory / ".gitignore"
+        if not marker.exists():
+            marker.write_text("*\n")
+        target = self._path(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,217 @@
+"""Process-pool sweep execution with deterministic seeding and caching.
+
+:class:`SweepRunner` takes a list of independent :class:`~.job.Job` cells
+and executes them
+
+- **deterministically**: every cell's seed is derived from the runner's
+  root seed and the cell's key (:func:`~.seeding.derive_seed`), so the
+  result set is a pure function of (grid, root seed) — bit-identical
+  whether cells run serially, across 2 workers, or across 32;
+- **in parallel**: cells fan out over a ``ProcessPoolExecutor`` in
+  chunks (amortising pickling), with results aggregated back in input
+  order;
+- **incrementally**: with a :class:`~.cache.ResultCache` attached, cells
+  whose (params, seed, code fingerprint) already have an entry are served
+  from disk and only changed cells recompute;
+- **robustly**: worker count 1, an unstartable pool, or a pool that
+  breaks mid-sweep all degrade to the plain serial loop that defines the
+  reference semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Sequence
+
+from .cache import ResultCache, code_fingerprint
+from .job import Job, JobResult, resolve_callable, run_job
+from .seeding import derive_seed
+
+#: Environment knob mirrored by the CLI/pytest ``--jobs`` options.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (serial when unset or invalid)."""
+    raw = os.environ.get(JOBS_ENV, "")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    return jobs if jobs != 0 else (os.cpu_count() or 1)
+
+
+def _init_worker(path: list[str]) -> None:
+    """Give spawned workers the parent's import path (bench modules live
+    outside ``site-packages``); fork workers inherit it anyway."""
+    for entry in reversed(path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def _execute_cell(item: tuple[Job, int | None]) -> tuple[Any, float]:
+    job, seed = item
+    t0 = time.perf_counter()
+    value = run_job(job, seed)
+    return value, time.perf_counter() - t0
+
+
+class SweepRunner:
+    """Declarative executor for (config x workload x seed) grids.
+
+    ``jobs`` is the worker count (``1`` = serial, ``0`` = one per CPU,
+    ``None`` = read ``REPRO_JOBS``); ``root_seed`` anchors per-cell seed
+    derivation; ``cache`` is a :class:`ResultCache`, a directory path, or
+    ``None`` to disable caching.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        root_seed: int = 0,
+        cache: ResultCache | str | os.PathLike | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        if jobs is None:
+            jobs = default_jobs()
+        elif jobs == 0:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1 (or 0 for one per CPU), got {jobs}")
+        self.jobs = jobs
+        self.root_seed = root_seed
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.chunk_size = chunk_size
+        #: Execution summary of the most recent :meth:`run`.
+        self.last_stats: dict[str, Any] = {}
+
+    # -- seed/cache bookkeeping ---------------------------------------------------
+
+    def seed_for(self, job: Job) -> int | None:
+        """The seed ``job`` will run with (explicit, derived, or None)."""
+        if not job.pass_seed:
+            return job.seed
+        if job.seed is not None:
+            return job.seed
+        return derive_seed(self.root_seed, job.key)
+
+    def _cache_key(self, job: Job, seed: int | None, memo: dict[str, str]) -> str:
+        fingerprint = memo.get(job.fn)
+        if fingerprint is None:
+            module_name = job.fn.partition(":")[0]
+            module = sys.modules.get(module_name)
+            if module is None:
+                module = resolve_callable(job.fn).__module__
+                module = sys.modules.get(module)
+            module_file = getattr(module, "__file__", None)
+            fingerprint = code_fingerprint(module_file)
+            memo[job.fn] = fingerprint
+        assert self.cache is not None
+        return self.cache.key_for(job.fn, job.params, seed, fingerprint)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, cells: Sequence[Job]) -> list[JobResult]:
+        """Execute ``cells``; results come back in input order.
+
+        The output is bit-identical to running the cells in a plain
+        serial loop: parallelism, chunking, worker scheduling, and cache
+        hits are all invisible in the result set.
+        """
+        cells = list(cells)
+        keys = [job.key for job in cells]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ValueError(f"duplicate job keys in sweep: {dupes}")
+
+        seeds = [self.seed_for(job) for job in cells]
+        results: list[JobResult | None] = [None] * len(cells)
+        pending: list[int] = []
+
+        fingerprint_memo: dict[str, str] = {}
+        cache_keys: dict[int, str] = {}
+        if self.cache is not None:
+            for i, job in enumerate(cells):
+                key = self._cache_key(job, seeds[i], fingerprint_memo)
+                cache_keys[i] = key
+                value = self.cache.get(key)
+                if value is not self.cache.MISS:
+                    results[i] = JobResult(
+                        key=job.key, value=value, seed=seeds[i], cached=True
+                    )
+                else:
+                    pending.append(i)
+        else:
+            pending = list(range(len(cells)))
+
+        workers = min(self.jobs, len(pending))
+        mode = "serial" if workers <= 1 else "parallel"
+        if pending:
+            payloads = [(cells[i], seeds[i]) for i in pending]
+            if workers > 1:
+                outcomes = self._run_pool(payloads, workers)
+                if outcomes is None:
+                    mode = "serial-fallback"
+                    outcomes = [_execute_cell(p) for p in payloads]
+            else:
+                outcomes = [_execute_cell(p) for p in payloads]
+            for i, (value, duration) in zip(pending, outcomes):
+                results[i] = JobResult(
+                    key=cells[i].key, value=value, seed=seeds[i],
+                    duration_s=duration,
+                )
+                if self.cache is not None:
+                    self.cache.put(cache_keys[i], value)
+
+        self.last_stats = {
+            "cells": len(cells),
+            "executed": len(pending),
+            "cache_hits": len(cells) - len(pending),
+            "workers": workers if mode == "parallel" else 1,
+            "mode": mode,
+        }
+        return [r for r in results if r is not None]
+
+    def values(self, cells: Sequence[Job]) -> list[Any]:
+        """Just the cell values, in input order."""
+        return [r.value for r in self.run(cells)]
+
+    def _run_pool(
+        self, payloads: list[tuple[Job, int | None]], workers: int
+    ) -> list[tuple[Any, float]] | None:
+        """Fan ``payloads`` out over a process pool; ``None`` means the
+        pool could not run them (caller falls back to the serial loop)."""
+        chunk = self.chunk_size or max(1, len(payloads) // (workers * 4))
+        try:
+            import multiprocessing
+
+            # fork (where available) shares the parent's imported modules
+            # and sys.path with zero per-worker warmup; elsewhere the
+            # initializer replays the import path for spawned workers.
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(list(sys.path),),
+            ) as pool:
+                return list(pool.map(_execute_cell, payloads, chunksize=chunk))
+        except (OSError, ImportError, BrokenProcessPool,
+                pickle.PicklingError, AttributeError, TypeError):
+            # No usable pool (sandboxed environment, dead workers) or an
+            # unpicklable payload/result — pickle reports the latter as
+            # PicklingError, AttributeError (local objects), or TypeError
+            # (unpicklable types) depending on the object.  The serial
+            # loop is always available and re-raises any genuine cell
+            # error.
+            return None

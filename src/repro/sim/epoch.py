@@ -22,13 +22,14 @@ rates and Figure 3/4's normalized execution times.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 
 from ..core.config import AnvilConfig
 from ..core.sampler import RowKey, analyze_row_samples
 from ..dram.config import DramTimings
 from ..units import Clock
-from ..workloads.spec import SpecProfile, window_misses
+from ..workloads.spec import SpecProfile, spec_profile, window_misses
 
 
 @dataclass(frozen=True)
@@ -143,8 +144,13 @@ class EpochModel:
     def run(self, horizon_s: float = 10.0) -> EpochResult:
         config = self.config
         clock = self.clock
+        # crc32, not hash(): the stream must be a pure function of
+        # (seed, benchmark) — identical in every process and interpreter
+        # launch (PYTHONHASHSEED randomises str hashes), which is what
+        # lets the sweep runner cache results and fan cells out to
+        # workers without changing any number.
         rng = random.Random(
-            (self.seed * 0x9E3779B1) ^ hash(self.profile.name) & 0xFFFFFFFF
+            (self.seed * 0x9E3779B1) ^ zlib.crc32(self.profile.name.encode())
         )
         tc_cycles = clock.cycles_from_ms(config.tc_ms)
         ts_cycles = clock.cycles_from_ms(config.ts_ms)
@@ -206,3 +212,28 @@ class EpochModel:
             total_cycles=total_cycles,
             dram_refresh_penalty=penalty,
         )
+
+
+def run_epoch_cell(
+    benchmark: str,
+    config: AnvilConfig | None = None,
+    config_name: str = "ANVIL-baseline",
+    horizon_s: float = 10.0,
+    refresh_factor: float = 1.0,
+    seed: int = 1,
+) -> EpochResult:
+    """One sweep cell: an :class:`EpochModel` run, addressable by name.
+
+    This is the module-level entry the sweep runner's jobs reference
+    (``repro.sim.epoch:run_epoch_cell``) — every epoch-model bench cell
+    is an instance of it, so results are shareable across benches through
+    the runner's cache.  ``EpochResult`` and ``AnvilConfig`` are plain
+    frozen dataclasses, picklable in both directions.
+    """
+    return EpochModel(
+        spec_profile(benchmark),
+        config,
+        config_name=config_name,
+        refresh_factor=refresh_factor,
+        seed=seed,
+    ).run(horizon_s)

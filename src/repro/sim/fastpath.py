@@ -151,7 +151,8 @@ def execute_fast(
     d2_hit = d2_miss = d2_evict = d2_inval = 0
     d3_hit = d3_miss = d3_evict = d3_inval = 0
     d_ctl_acc = d_ctl_lat = d_ctl_blocked = 0
-    d_dev_acc = d_dev_hit = 0
+    d_dev_acc = d_dev_hit = d_dev_act = 0
+    d_act_bank: dict[int, int] = {}  # deferred per-bank activation counts
 
     def _flush() -> None:
         """Drain deferred bumps and publish the local clock."""
@@ -159,7 +160,8 @@ def execute_fast(
         nonlocal d1_hit, d1_miss, d1_evict, d1_inval
         nonlocal d2_hit, d2_miss, d2_evict, d2_inval
         nonlocal d3_hit, d3_miss, d3_evict, d3_inval
-        nonlocal d_ctl_acc, d_ctl_lat, d_ctl_blocked, d_dev_acc, d_dev_hit
+        nonlocal d_ctl_acc, d_ctl_lat, d_ctl_blocked
+        nonlocal d_dev_acc, d_dev_hit, d_dev_act
         if d_loads:
             c_loads.value += d_loads
             d_loads = 0
@@ -202,6 +204,13 @@ def execute_fast(
             dev_stats.accesses += d_dev_acc
             dev_stats.row_hits += d_dev_hit
             d_dev_acc = d_dev_hit = 0
+        if d_dev_act:
+            dev_stats.activations += d_dev_act
+            per_bank = dev_stats.activations_per_bank
+            for bank_id, count in d_act_bank.items():
+                per_bank[bank_id] = per_bank.get(bank_id, 0) + count
+            d_act_bank.clear()
+            d_dev_act = 0
         machine.cycles = cycles
 
     def _retire(record: MemoryAccess) -> None:
@@ -241,7 +250,7 @@ def execute_fast(
         l2_sets = l2._sets
         llc_sets = llc._sets
         device = controller.device
-        dev_access = device.access
+        dev_miss_fast = device.access_miss_fast
         dev_stats = device.stats
         open_rows = device._open_rows
         hit_cyc = device._timings_cycles[0]
@@ -443,10 +452,17 @@ def execute_fast(
                             activated = False
                             flips_n = 0
                         else:
-                            outcome = dev_access(coord, t_mem + blocked)
-                            dram_lat = outcome.latency_cycles + blocked
-                            activated = outcome.activated
-                            flips_n = len(outcome.new_flips)
+                            # Row-buffer miss: the allocation-free
+                            # activation arm, with accesses/activations/
+                            # per-bank stats deferred like the hit arm.
+                            act_lat, flips_n = dev_miss_fast(
+                                coord, bank, t_mem + blocked
+                            )
+                            dram_lat = act_lat + blocked
+                            activated = True
+                            d_dev_acc += 1
+                            d_dev_act += 1
+                            d_act_bank[bank] = d_act_bank.get(bank, 0) + 1
                         d_ctl_acc += 1
                         d_ctl_lat += dram_lat
                         d_ctl_blocked += blocked

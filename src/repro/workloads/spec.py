@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -172,7 +173,10 @@ class SpecWorkload(Workload):
     def ops(self) -> Iterator[Op]:
         if not self.prepared:
             raise RuntimeError("call prepare(machine) before ops()")
-        rng = random.Random(self.seed ^ hash(self.name) & 0xFFFF)
+        # crc32 keeps the stream identical across processes (str hash() is
+        # PYTHONHASHSEED-randomised), so seeded workloads replay exactly
+        # in sweep-runner workers and cache comparisons.
+        rng = random.Random(self.seed ^ zlib.crc32(self.name.encode()) & 0xFFFF)
         miss_fraction = self._miss_fraction
         store_fraction = 1.0 - self.profile.load_miss_fraction
         think = self.think_cycles

@@ -1,0 +1,226 @@
+"""repro.runner — deterministic seeding, caching, and pool fallback.
+
+The cells used here are module-level functions: runner jobs name their
+callable by ``module:qualname`` spec so process-pool workers can import
+them (lambdas and locals are rejected at Job construction).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.runner.runner as runner_module
+from repro.runner import (
+    Job,
+    JobResult,
+    ResultCache,
+    SweepRunner,
+    canonical_repr,
+    derive_seed,
+    stable_hash,
+)
+
+
+def grid_cell(a: int, b: str, seed: int) -> tuple:
+    """A cheap deterministic cell: value is a pure function of (params, seed)."""
+    return (a, b, seed, random.Random(seed).random())
+
+
+def seedless_cell(a: int) -> int:
+    return a * 2
+
+
+# -- seeding -----------------------------------------------------------------
+
+
+def test_derive_seed_deterministic_and_bounded():
+    assert derive_seed(7, "x") == derive_seed(7, "x")
+    assert derive_seed(7, "x") != derive_seed(7, "y")
+    assert derive_seed(7, "x") != derive_seed(8, "x")
+    for key in ("a", "b", "sweep/mcf"):
+        assert 0 <= derive_seed(0, key) < 2**32
+
+
+def test_canonical_repr_is_order_insensitive_for_dicts():
+    assert canonical_repr({"b": 1, "a": 2}) == canonical_repr({"a": 2, "b": 1})
+    assert stable_hash({"b": 1, "a": 2}) == stable_hash({"a": 2, "b": 1})
+
+
+def test_canonical_repr_rejects_default_object_repr():
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError):
+        canonical_repr(Opaque())
+
+
+# -- jobs --------------------------------------------------------------------
+
+
+def test_job_of_sorts_params_and_rejects_lambdas():
+    j1 = Job.of(grid_cell, key="k", a=1, b="x")
+    j2 = Job.of(grid_cell, key="k", b="x", a=1)
+    assert j1.params == j2.params == (("a", 1), ("b", "x"))
+    with pytest.raises(ValueError):
+        Job.of(lambda: None, key="bad")
+
+
+def test_job_auto_key_is_stable():
+    j1 = Job.of(grid_cell, a=1, b="x")
+    j2 = Job.of(grid_cell, a=1, b="x")
+    j3 = Job.of(grid_cell, a=2, b="x")
+    assert j1.key == j2.key != j3.key
+
+
+def make_grid(n: int = 6) -> list[Job]:
+    return [
+        Job.of(grid_cell, key=f"grid/{a}/{b}", a=a, b=b)
+        for a in range(n)
+        for b in ("p", "q")
+    ]
+
+
+# -- determinism across worker counts ---------------------------------------
+
+
+def test_parallel_results_identical_to_serial():
+    cells = make_grid()
+    serial = SweepRunner(jobs=1, root_seed=3).run(cells)
+    parallel = SweepRunner(jobs=3, root_seed=3).run(cells)
+    chunked = SweepRunner(jobs=2, root_seed=3, chunk_size=1).run(cells)
+    assert serial == parallel == chunked
+    # Seeds derive from (root_seed, key), never from worker identity.
+    assert [r.seed for r in serial] == [
+        derive_seed(3, job.key) for job in cells
+    ]
+    # A different root seed is a different experiment.
+    assert SweepRunner(jobs=1, root_seed=4).run(cells) != serial
+
+
+def test_explicit_job_seed_overrides_derivation():
+    job = Job.of(grid_cell, key="k", seed=123, a=0, b="p")
+    (result,) = SweepRunner(jobs=1, root_seed=99).run([job])
+    assert result.seed == 123
+    assert result.value == grid_cell(0, "p", 123)
+
+
+def test_pass_seed_false_for_seedless_cells():
+    job = Job.of(seedless_cell, key="k", pass_seed=False, a=21)
+    assert SweepRunner(jobs=1).values([job]) == [42]
+
+
+def test_duplicate_keys_rejected():
+    cells = [Job.of(grid_cell, key="same", a=a, b="p") for a in (1, 2)]
+    with pytest.raises(ValueError, match="duplicate"):
+        SweepRunner(jobs=1).run(cells)
+
+
+def test_default_jobs_reads_env(monkeypatch):
+    monkeypatch.setenv(runner_module.JOBS_ENV, "5")
+    assert SweepRunner().jobs == 5
+    monkeypatch.setenv(runner_module.JOBS_ENV, "")
+    assert SweepRunner().jobs == 1
+
+
+# -- result cache ------------------------------------------------------------
+
+
+def test_cache_hits_warm_run(tmp_path):
+    cells = make_grid()
+    runner = SweepRunner(jobs=1, root_seed=3, cache=tmp_path / "c")
+    cold = runner.run(cells)
+    assert runner.last_stats["executed"] == len(cells)
+    assert runner.last_stats["cache_hits"] == 0
+
+    warm_runner = SweepRunner(jobs=1, root_seed=3, cache=tmp_path / "c")
+    warm = warm_runner.run(cells)
+    assert warm_runner.last_stats["executed"] == 0
+    assert warm_runner.last_stats["cache_hits"] == len(cells)
+    assert all(r.cached for r in warm)
+    # JobResult equality ignores the cached/duration bookkeeping fields.
+    assert warm == cold
+
+
+def test_cache_invalidates_on_param_or_seed_change(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    runner = SweepRunner(jobs=1, root_seed=3, cache=cache)
+    runner.run([Job.of(grid_cell, key="k", a=1, b="p")])
+
+    changed_param = SweepRunner(jobs=1, root_seed=3, cache=cache)
+    changed_param.run([Job.of(grid_cell, key="k", a=2, b="p")])
+    assert changed_param.last_stats["executed"] == 1
+
+    changed_seed = SweepRunner(jobs=1, root_seed=8, cache=cache)
+    changed_seed.run([Job.of(grid_cell, key="k", a=1, b="p")])
+    assert changed_seed.last_stats["executed"] == 1
+
+    unchanged = SweepRunner(jobs=1, root_seed=3, cache=cache)
+    unchanged.run([Job.of(grid_cell, key="k", a=1, b="p")])
+    assert unchanged.last_stats["executed"] == 0
+
+
+def test_cache_mixed_hit_miss_preserves_order(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    first_half = make_grid()[:4]
+    SweepRunner(jobs=1, root_seed=3, cache=cache).run(first_half)
+
+    cells = make_grid()
+    runner = SweepRunner(jobs=1, root_seed=3, cache=cache)
+    results = runner.run(cells)
+    assert runner.last_stats["cache_hits"] == 4
+    assert runner.last_stats["executed"] == len(cells) - 4
+    assert [r.key for r in results] == [job.key for job in cells]
+    assert results == SweepRunner(jobs=1, root_seed=3).run(cells)
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    runner = SweepRunner(jobs=1, cache=cache)
+    runner.run(make_grid())
+    assert cache.clear() > 0
+    rerun = SweepRunner(jobs=1, cache=cache)
+    rerun.run(make_grid())
+    assert rerun.last_stats["executed"] == len(make_grid())
+
+
+# -- serial fallback ---------------------------------------------------------
+
+
+class _ExplodingPool:
+    def __init__(self, *args, **kwargs):
+        raise OSError("no processes in this sandbox")
+
+
+def test_pool_failure_falls_back_to_serial(monkeypatch):
+    monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _ExplodingPool)
+    cells = make_grid()
+    runner = SweepRunner(jobs=4, root_seed=3)
+    results = runner.run(cells)
+    assert runner.last_stats["mode"] == "serial-fallback"
+    assert results == SweepRunner(jobs=1, root_seed=3).run(cells)
+
+
+def test_unpicklable_result_falls_back_to_serial():
+    # A lambda *result* cannot cross the process boundary; the job itself
+    # is importable.  The pool raises PicklingError and the runner retries
+    # serially, where no pickling happens.
+    cells = [
+        Job.of(unpicklable_cell, key=f"u/{tag}", pass_seed=False, tag=tag)
+        for tag in ("t0", "t1", "t2", "t3")
+    ]
+    runner = SweepRunner(jobs=2, root_seed=0)
+    results = runner.run(cells)
+    assert runner.last_stats["mode"] == "serial-fallback"
+    assert [r.value()() for r in results] == ["t0", "t1", "t2", "t3"]
+
+
+def unpicklable_cell(tag: str):
+    return lambda: (lambda: tag)
+
+
+def test_jobresult_equality_ignores_bookkeeping():
+    a = JobResult(key="k", value=1, seed=2, cached=True, duration_s=0.5)
+    b = JobResult(key="k", value=1, seed=2, cached=False, duration_s=9.9)
+    assert a == b
