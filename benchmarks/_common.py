@@ -13,6 +13,10 @@ Sweep-shaped benches execute their (config x workload x seed) grids
 through :func:`sweep_runner`, which honours the ``--jobs`` pytest option
 / ``REPRO_JOBS`` environment knob for process-pool parallelism and keeps
 an incremental result cache under ``benchmarks/results/.cache/``.
+Failure semantics are configurable the same way: ``--fail-policy`` /
+``REPRO_FAIL_POLICY`` picks strict (raise an aggregated ``SweepError``)
+or degrade (partial results + failure manifest), and ``--cell-timeout``
+/ ``REPRO_CELL_TIMEOUT`` bounds each cell attempt's wall clock.
 """
 
 from __future__ import annotations
@@ -22,13 +26,18 @@ import os
 import tempfile
 from pathlib import Path
 
-from repro.runner import ResultCache, SweepRunner
+from repro.runner import FaultPlan, ResultCache, RetryPolicy, SweepRunner
 
 RESULTS_DIR = Path(__file__).parent / "results"
 CACHE_DIR = RESULTS_DIR / ".cache"
 
 #: Environment knob disabling the on-disk sweep cache (any falsy value).
 CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+#: Environment knobs mirroring the ``--fail-policy``/``--cell-timeout``
+#: pytest options (see ``benchmarks/conftest.py``).
+FAIL_POLICY_ENV = "REPRO_FAIL_POLICY"
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
 
 
 def _write_atomic(path: Path, text: str) -> None:
@@ -74,16 +83,46 @@ def sweep_cache() -> ResultCache | None:
     return ResultCache(CACHE_DIR)
 
 
+def fail_policy() -> str:
+    """Sweep failure policy from ``REPRO_FAIL_POLICY`` (default strict)."""
+    return os.environ.get(FAIL_POLICY_ENV, "strict").lower() or "strict"
+
+
+def cell_timeout() -> float | None:
+    """Per-attempt cell timeout in seconds from ``REPRO_CELL_TIMEOUT``
+    (unset, empty, or non-positive disables the deadline)."""
+    raw = os.environ.get(CELL_TIMEOUT_ENV, "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
 def sweep_runner(
-    root_seed: int, jobs: int | None = None, cache: bool = True
+    root_seed: int,
+    jobs: int | None = None,
+    cache: bool = True,
+    policy: str | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    checkpoint: str | os.PathLike | None = None,
 ) -> SweepRunner:
     """A :class:`SweepRunner` wired to the bench harness conventions:
     worker count from ``--jobs``/``REPRO_JOBS`` unless overridden, result
-    cache under ``benchmarks/results/.cache/``."""
+    cache under ``benchmarks/results/.cache/``, failure policy and cell
+    timeout from ``--fail-policy``/``--cell-timeout`` (or their
+    environment twins) unless given explicitly."""
+    if retry is None:
+        retry = RetryPolicy(timeout_s=cell_timeout())
     return SweepRunner(
         jobs=jobs,
         root_seed=root_seed,
         cache=sweep_cache() if cache else None,
+        policy=policy if policy is not None else fail_policy(),
+        retry=retry,
+        fault_plan=fault_plan,
+        checkpoint=checkpoint,
     )
 
 

@@ -7,6 +7,8 @@ Commands map onto the library's headline capabilities:
 - ``defense-grid`` — the mitigation x attack matrix;
 - ``spec-overhead`` — the Figure 3/Table 4 epoch study;
 - ``probe-policy`` — reverse-engineer the LLC replacement policy;
+- ``cache`` — scrub (``verify``) or empty (``clear``) the sweep result
+  cache; corrupt entries are quarantined so they never poison a sweep;
 - ``info`` — the simulated machine's configuration.
 
 The CLI runs everything at the scaled demo size so each command finishes
@@ -30,7 +32,14 @@ from .attacks import (
 from .core import AnvilConfig, AnvilModule
 from .errors import ReproError
 from .presets import small_machine
-from .runner import Job, SweepRunner, derive_seed
+from .runner import (
+    FAILURE_POLICIES,
+    Job,
+    ResultCache,
+    RetryPolicy,
+    SweepRunner,
+    derive_seed,
+)
 from .sim.epoch import double_refresh_normalized_time, run_epoch_cell
 from .units import MB
 from .workloads import SPEC2006_INT, spec_profile
@@ -76,6 +85,28 @@ def _build_parser() -> argparse.ArgumentParser:
                                "CPU; default: $REPRO_JOBS or serial)")
     overhead.add_argument("--seed", type=int, default=0,
                           help="root seed; per-benchmark seeds derive from it")
+    overhead.add_argument("--fail-policy", choices=FAILURE_POLICIES,
+                          default="strict",
+                          help="strict: raise on any failed cell; degrade: "
+                               "report partial results + failure manifest")
+    overhead.add_argument("--cell-timeout", type=float, default=None,
+                          metavar="S",
+                          help="per-attempt wall-clock budget per cell "
+                               "(enforced in pool mode)")
+    overhead.add_argument("--retries", type=int, default=2,
+                          help="retries per failed cell before it is "
+                               "recorded as a failure (default 2)")
+
+    cache = sub.add_parser(
+        "cache", help="scrub or clear the sweep result cache")
+    cache.add_argument("action", choices=("verify", "clear"),
+                       help="verify: checksum-scrub every entry and "
+                            "quarantine corrupt ones; clear: delete all")
+    cache.add_argument("--dir", default="benchmarks/results/.cache",
+                       help="cache directory (default: the bench harness "
+                            "cache, benchmarks/results/.cache)")
+    cache.add_argument("--no-repair", action="store_true",
+                       help="report corrupt entries without quarantining")
 
     probe = sub.add_parser("probe-policy",
                            help="reverse-engineer the LLC replacement policy")
@@ -171,9 +202,20 @@ def _cmd_spec_overhead(args: argparse.Namespace) -> int:
         )
         for name in SPEC2006_INT
     ]
-    runs = SweepRunner(jobs=args.jobs, root_seed=args.seed).values(cells)
+    runner = SweepRunner(
+        jobs=args.jobs, root_seed=args.seed, policy=args.fail_policy,
+        retry=RetryPolicy(max_attempts=args.retries + 1,
+                          timeout_s=args.cell_timeout),
+    )
+    results = runner.run(cells)
+    by_key = {r.key: r for r in results}
     rows = []
-    for name, run in zip(SPEC2006_INT, runs):
+    for name in SPEC2006_INT:
+        result = by_key.get(f"spec-overhead/{name}")
+        if result is None or not result.ok:
+            rows.append([name, "FAILED", "-", "-", "-"])
+            continue
+        run = result.value
         rows.append([
             name,
             f"{run.normalized_time:.4f}",
@@ -188,6 +230,29 @@ def _cmd_spec_overhead(args: argparse.Namespace) -> int:
         title=f"SPEC2006 int, {args.seconds:.0f}s horizon "
               "(normalized to unprotected @64 ms)",
     ))
+    if runner.last_failures:
+        print(f"\n{len(runner.last_failures)} cell(s) failed "
+              f"(policy={args.fail_policy}):", file=sys.stderr)
+        for failure in runner.last_failures:
+            print(f"  {failure.key}: {failure.error_type}: {failure.error}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir)
+    if args.action == "clear":
+        print(f"removed {cache.clear()} cache entries from {args.dir}")
+        return 0
+    report = cache.verify(repair=not args.no_repair)
+    print(f"cache scrub of {report['directory']}")
+    print(f"  entries checked : {report['checked']}")
+    print(f"  intact          : {report['ok']}")
+    print(f"  corrupt         : {len(report['corrupt'])}")
+    print(f"  quarantined     : {report['quarantined']}")
+    for key in report["corrupt"]:
+        print(f"    {key}")
     return 0
 
 
@@ -235,6 +300,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "attack": _cmd_attack,
         "defense-grid": _cmd_defense_grid,
         "spec-overhead": _cmd_spec_overhead,
+        "cache": _cmd_cache,
         "probe-policy": _cmd_probe_policy,
         "info": _cmd_info,
     }

@@ -47,3 +47,28 @@ class SimulationError(ReproError):
 
 class EvictionSetError(ReproError):
     """An eviction set could not be constructed for a target address."""
+
+
+class SweepError(ReproError):
+    """One or more sweep cells failed under the ``strict`` failure policy.
+
+    ``failures`` holds the structured :class:`~repro.runner.JobResult`
+    error records (``ok=False``) of every cell that exhausted its
+    attempts; the surviving results are in ``results`` so a strict
+    caller can still inspect (or salvage) the partial sweep.
+    """
+
+    def __init__(self, failures, results=None):
+        self.failures = list(failures)
+        self.results = list(results) if results is not None else []
+        keys = ", ".join(r.key for r in self.failures[:5])
+        if len(self.failures) > 5:
+            keys += ", ..."
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed after retries: {keys}"
+        )
+
+
+class CacheCorruptionError(ReproError):
+    """A result-cache entry failed its integrity check (bad magic, torn
+    payload, or checksum mismatch)."""

@@ -8,8 +8,13 @@ cells whose behaviour could have changed — re-running a sweep recomputes
 only changed cells.
 
 Writes are atomic (tmp file + ``os.replace``) so concurrent workers and
-parallel bench runs can never observe a torn entry; a corrupt or
-unreadable entry degrades to a cache miss.
+parallel bench runs can never observe a torn entry.  Every entry carries
+an integrity header — a magic tag plus a truncated SHA-256 of the pickle
+payload — so bit-rot, torn files from crashed writers, and injected
+corruption are *detected*, not deserialized: a corrupt entry counts as a
+miss, is moved into a ``quarantine/`` subdirectory on first sight (never
+re-read every run), and :meth:`ResultCache.verify` scrubs a whole cache
+directory on demand (exposed as ``python -m repro cache verify``).
 """
 
 from __future__ import annotations
@@ -21,10 +26,18 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
+from ..errors import CacheCorruptionError
 from .seeding import stable_digest
 
 #: Memoised source fingerprints, keyed by directory/file path.
 _fingerprints: dict[str, str] = {}
+
+#: Entry format: MAGIC + sha256(payload)[:CHECKSUM_BYTES] + payload.
+MAGIC = b"RPRC1\n"
+CHECKSUM_BYTES = 16
+
+#: Subdirectory (inside the cache dir) holding quarantined corrupt entries.
+QUARANTINE_DIR = "quarantine"
 
 
 def _hash_tree(root: Path) -> str:
@@ -59,6 +72,29 @@ def code_fingerprint(extra_module_file: str | None = None) -> str:
     return f"{tree}-{extra}"
 
 
+def encode_entry(value: Any) -> bytes:
+    """Serialise ``value`` with the integrity header."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    checksum = hashlib.sha256(payload).digest()[:CHECKSUM_BYTES]
+    return MAGIC + checksum + payload
+
+
+def decode_entry(blob: bytes) -> Any:
+    """Deserialise an entry, raising :class:`CacheCorruptionError` on any
+    integrity violation (wrong magic, truncated header, bad checksum)."""
+    header = len(MAGIC) + CHECKSUM_BYTES
+    if not blob.startswith(MAGIC) or len(blob) < header:
+        raise CacheCorruptionError("cache entry has no valid integrity header")
+    checksum = blob[len(MAGIC):header]
+    payload = blob[header:]
+    if hashlib.sha256(payload).digest()[:CHECKSUM_BYTES] != checksum:
+        raise CacheCorruptionError("cache entry checksum mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # checksum passed but unpicklable (e.g. renamed class)
+        raise CacheCorruptionError(f"cache entry unpicklable: {exc}") from exc
+
+
 class ResultCache:
     """Pickle-per-entry cache directory (default layout:
     ``benchmarks/results/.cache/<key>.pkl``)."""
@@ -71,6 +107,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+        self.quarantined = 0
 
     def key_for(
         self, fn_spec: str, params: tuple, seed: int | None,
@@ -78,16 +116,31 @@ class ResultCache:
     ) -> str:
         return stable_digest("cell", fn_spec, params, seed, fingerprint)
 
-    def _path(self, key: str) -> Path:
+    def path_for(self, key: str) -> Path:
+        """The on-disk path of ``key``'s entry (it may not exist)."""
         return self.directory / f"{key}.pkl"
 
+    # Backwards-compatible private alias.
+    _path = path_for
+
     def get(self, key: str) -> Any:
-        """The cached value for ``key``, or :data:`MISS`."""
+        """The cached value for ``key``, or :data:`MISS`.
+
+        A corrupt entry degrades to a miss *and* is quarantined on the
+        spot, so a torn file can never be re-read run after run.
+        """
+        path = self.path_for(key)
         try:
-            with self._path(key).open("rb") as fh:
-                value = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            blob = path.read_bytes()
+        except OSError:
             self.misses += 1
+            return self.MISS
+        try:
+            value = decode_entry(blob)
+        except CacheCorruptionError:
+            self.corrupt += 1
+            self.misses += 1
+            self._quarantine(path)
             return self.MISS
         self.hits += 1
         return value
@@ -100,13 +153,13 @@ class ResultCache:
         marker = self.directory / ".gitignore"
         if not marker.exists():
             marker.write_text("*\n")
-        target = self._path(key)
+        target = self.path_for(key)
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(encode_entry(value))
             os.replace(tmp_name, target)
         except BaseException:
             try:
@@ -116,8 +169,52 @@ class ResultCache:
             raise
         self.stores += 1
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the lookup path (delete as a last
+        resort) so it is never decoded again."""
+        qdir = self.directory / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+            self.quarantined += 1
+            return
+        except OSError:
+            pass
+        try:
+            path.unlink()
+            self.quarantined += 1
+        except OSError:
+            pass
+
+    def verify(self, repair: bool = True) -> dict[str, Any]:
+        """Scrub every entry; quarantine (with ``repair``) the corrupt ones.
+
+        Returns a report: ``checked``/``ok`` counts, the corrupt entry
+        keys, and how many were quarantined.
+        """
+        report: dict[str, Any] = {
+            "directory": str(self.directory),
+            "checked": 0, "ok": 0, "corrupt": [], "quarantined": 0,
+        }
+        if not self.directory.is_dir():
+            return report
+        for path in sorted(self.directory.glob("*.pkl")):
+            report["checked"] += 1
+            try:
+                decode_entry(path.read_bytes())
+            except (CacheCorruptionError, OSError):
+                report["corrupt"].append(path.stem)
+                if repair:
+                    before = self.quarantined
+                    self._quarantine(path)
+                    report["quarantined"] += self.quarantined - before
+            else:
+                report["ok"] += 1
+        return report
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (including quarantined ones); returns the
+        number of live entries removed."""
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.pkl"):
@@ -126,4 +223,11 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+            qdir = self.directory / QUARANTINE_DIR
+            if qdir.is_dir():
+                for path in qdir.glob("*.pkl"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
         return removed

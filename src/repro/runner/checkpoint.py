@@ -1,0 +1,166 @@
+"""Append-only sweep checkpoint journal (checkpoint/resume).
+
+A :class:`SweepJournal` records every *successfully* completed cell of a
+sweep as one JSON line (key, seed, attempts, pickled value) appended and
+flushed immediately — so a sweep that is interrupted, killed, or aborted
+by a ``strict`` failure can be resumed and recompute only the cells that
+never finished.  The journal is scoped to a ``sweep_id`` (a stable
+digest of the root seed, the cell keys, and the code fingerprint): a
+journal written by a *different* sweep — or by different code — is
+ignored and replaced rather than replayed.
+
+Crash-safety model: entries are single ``\\n``-terminated lines, written
+with an immediate flush.  A torn final line (the process died mid-write)
+is detected at load time and discarded; every earlier line is intact.
+The runner deletes the journal once a sweep completes with zero
+failures; while failures remain, the journal is kept so the next run
+retries exactly the unfinished cells.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import IO, Iterable
+
+from .job import JobResult
+from .seeding import stable_digest
+
+_HEADER_KIND = "sweep-journal"
+_VERSION = 1
+
+
+def sweep_id(root_seed: int, keys: Iterable[str], fingerprint: str = "") -> str:
+    """Identity of one sweep: (root seed, ordered cell keys, code)."""
+    return stable_digest("sweep", root_seed, tuple(keys), fingerprint)
+
+
+class SweepJournal:
+    """One on-disk checkpoint manifest for one sweep."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+        self._active_id: str | None = None
+
+    # -- reading -----------------------------------------------------------------
+
+    def load(self, expected_id: str) -> dict[str, JobResult]:
+        """Completed cells journalled for ``expected_id``, keyed by job key.
+
+        Returns ``{}`` when the journal is missing, unreadable, or
+        belongs to a different sweep (stale journals are replaced on the
+        next :meth:`record`, not replayed).  Lines are independent JSON
+        records, so a torn or undecodable line is skipped without
+        affecting the entries around it.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return {}
+        lines = text.split("\n")
+        done: dict[str, JobResult] = {}
+        header_ok = False
+        for i, line in enumerate(lines):
+            if not line:
+                continue
+            if i == len(lines) - 1 and not text.endswith("\n"):
+                continue  # torn final line: the writer died mid-append
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not header_ok:
+                if (record.get("kind") != _HEADER_KIND
+                        or record.get("sweep_id") != expected_id
+                        or record.get("version") != _VERSION):
+                    return {}
+                header_ok = True
+                continue
+            try:
+                value = pickle.loads(base64.b64decode(record["value"]))
+                key = record["key"]
+            except Exception:
+                continue
+            done[key] = JobResult(
+                key=key, value=value, seed=record.get("seed"),
+                attempts=int(record.get("attempts", 1)), resumed=True,
+            )
+        return done
+
+    # -- writing -----------------------------------------------------------------
+
+    def open_for(self, journal_id: str, resume: bool = True) -> None:
+        """Open the journal for appending under ``journal_id``.
+
+        With ``resume`` the existing file is kept when (and only when)
+        its header matches; otherwise it is replaced with a fresh header.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        keep = resume and self._header_matches(journal_id)
+        self._fh = self.path.open("a" if keep else "w", encoding="utf-8")
+        self._active_id = journal_id
+        if keep:
+            # Neutralise a torn final line so the next record starts on
+            # a fresh line instead of merging into the partial one.
+            try:
+                if self.path.stat().st_size and not self.path.read_bytes().endswith(b"\n"):
+                    self._fh.write("\n")
+                    self._fh.flush()
+            except OSError:
+                pass
+        else:
+            self._fh.write(json.dumps(
+                {"kind": _HEADER_KIND, "version": _VERSION,
+                 "sweep_id": journal_id},
+                sort_keys=True,
+            ) + "\n")
+            self._fh.flush()
+
+    def _header_matches(self, journal_id: str) -> bool:
+        try:
+            with self.path.open("r", encoding="utf-8") as fh:
+                first = fh.readline()
+            record = json.loads(first)
+        except (OSError, ValueError):
+            return False
+        return (record.get("kind") == _HEADER_KIND
+                and record.get("sweep_id") == journal_id)
+
+    def record(self, result: JobResult) -> bool:
+        """Append one completed cell; returns False if the value cannot
+        be journalled (unpicklable values simply recompute on resume)."""
+        if self._fh is None:
+            raise RuntimeError("journal is not open; call open_for() first")
+        try:
+            payload = base64.b64encode(
+                pickle.dumps(result.value, protocol=pickle.HIGHEST_PROTOCOL)
+            ).decode("ascii")
+        except Exception:
+            return False
+        self._fh.write(json.dumps(
+            {"key": result.key, "seed": result.seed,
+             "attempts": result.attempts, "value": payload},
+            sort_keys=True,
+        ) + "\n")
+        self._fh.flush()
+        return True
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+            finally:
+                self._fh.close()
+                self._fh = None
+
+    def complete(self) -> None:
+        """The sweep finished with no failures: the journal is obsolete."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

@@ -98,10 +98,17 @@ class Job:
 class JobResult:
     """One completed cell, in sweep input order.
 
-    Equality intentionally ignores ``duration_s`` and ``cached`` (they
-    vary run to run); two results compare equal iff the same job produced
-    the same value with the same seed — the property the equivalence
-    gates assert between serial, parallel, and cached executions.
+    Equality intentionally ignores the run-to-run bookkeeping fields
+    (``duration_s``, ``cached``, ``resumed``, ``attempts``, and the
+    error detail strings); two results compare equal iff the same job
+    produced the same outcome (value + ``ok``) with the same seed — the
+    property the equivalence gates assert between serial, parallel,
+    cached, and fault-recovered executions.
+
+    A failed cell (every retry exhausted) is still a ``JobResult``:
+    ``ok=False``, ``value=None``, with the exception's class name and
+    message captured in ``error_type``/``error`` — sweeps never lose an
+    exception into a worker's void.
     """
 
     key: str
@@ -109,6 +116,11 @@ class JobResult:
     seed: int | None
     cached: bool = field(default=False, compare=False)
     duration_s: float = field(default=0.0, compare=False)
+    ok: bool = True
+    error: str | None = field(default=None, compare=False)
+    error_type: str | None = field(default=None, compare=False)
+    attempts: int = field(default=1, compare=False)
+    resumed: bool = field(default=False, compare=False)
 
 
 def run_job(job: Job, seed: int | None) -> Any:

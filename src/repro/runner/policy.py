@@ -1,0 +1,79 @@
+"""Failure and retry policies for sweep execution.
+
+Two knobs govern what :class:`~.runner.SweepRunner` does when a cell
+fails (raises, times out, or takes its worker process down):
+
+- :data:`FailurePolicy` — what the *sweep* does once every cell has had
+  its chances: ``"strict"`` raises an aggregated
+  :class:`~repro.errors.SweepError`, ``"degrade"`` returns the full
+  result list with failed cells recorded as structured
+  :class:`~.job.JobResult` error records (the failure manifest lives in
+  ``runner.last_failures`` / ``runner.last_stats``).
+- :class:`RetryPolicy` — what one *cell* gets: bounded attempts with
+  exponential backoff, an optional per-attempt wall-clock timeout
+  (enforced in pool mode, where a stuck worker can be abandoned), and an
+  in-process serial final attempt so no pool-level flakiness can starve
+  a cell of its last chance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+#: Raise an aggregated :class:`~repro.errors.SweepError` when any cell fails.
+STRICT = "strict"
+#: Return partial results; failures become structured error records.
+DEGRADE = "degrade"
+
+FAILURE_POLICIES = (STRICT, DEGRADE)
+
+
+def parse_failure_policy(name: str) -> str:
+    """Validate a failure-policy name (``strict`` or ``degrade``)."""
+    policy = str(name).lower()
+    if policy not in FAILURE_POLICIES:
+        raise ConfigError(
+            f"unknown failure policy {name!r}; expected one of {FAILURE_POLICIES}"
+        )
+    return policy
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-cell retry/timeout behaviour.
+
+    ``max_attempts`` counts every try, including the first; ``1`` means
+    no retries.  A failed attempt ``n`` waits
+    ``min(backoff_cap_s, backoff_base_s * 2**(n-1))`` before the cell is
+    re-dispatched.  ``timeout_s`` is the per-attempt wall-clock budget —
+    enforced only when a process pool is running (an in-process cell
+    cannot be preempted; the serial path runs without a deadline).  With
+    ``serial_final_attempt`` (the default), a cell's last attempt always
+    runs in-process in the parent, so a broken or saturated pool can
+    never consume a cell's final chance.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    timeout_s: float | None = None
+    serial_final_attempt: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigError("backoff durations must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError(f"timeout_s must be positive, got {self.timeout_s}")
+
+    def backoff_s(self, failures: int) -> float:
+        """Delay before the next attempt after ``failures`` failed ones."""
+        if failures <= 0:
+            return 0.0
+        return min(self.backoff_cap_s, self.backoff_base_s * (2 ** (failures - 1)))
+
+    def with_timeout(self, timeout_s: float | None) -> "RetryPolicy":
+        return replace(self, timeout_s=timeout_s)

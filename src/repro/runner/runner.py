@@ -1,4 +1,5 @@
-"""Process-pool sweep execution with deterministic seeding and caching.
+"""Process-pool sweep execution with deterministic seeding, caching, and
+fault tolerance.
 
 :class:`SweepRunner` takes a list of independent :class:`~.job.Job` cells
 and executes them
@@ -7,41 +8,81 @@ and executes them
   root seed and the cell's key (:func:`~.seeding.derive_seed`), so the
   result set is a pure function of (grid, root seed) — bit-identical
   whether cells run serially, across 2 workers, or across 32;
-- **in parallel**: cells fan out over a ``ProcessPoolExecutor`` in
-  chunks (amortising pickling), with results aggregated back in input
-  order;
+- **in parallel**: cells fan out over a ``ProcessPoolExecutor`` as
+  individual futures, with results aggregated back in input order;
 - **incrementally**: with a :class:`~.cache.ResultCache` attached, cells
   whose (params, seed, code fingerprint) already have an entry are served
   from disk and only changed cells recompute;
-- **robustly**: worker count 1, an unstartable pool, or a pool that
-  breaks mid-sweep all degrade to the plain serial loop that defines the
-  reference semantics.
+- **fault-tolerantly**: a cell that raises, exceeds its per-attempt
+  wall-clock timeout, or takes its worker process down is retried with
+  exponential backoff on a fresh worker (the pool is rebuilt after a
+  crash or an abandoned hung worker), with its *final* attempt run
+  in-process so pool-level flakiness can never consume a cell's last
+  chance.  Cells that exhaust their attempts become structured
+  :class:`~.job.JobResult` error records — under the ``strict`` failure
+  policy the sweep then raises an aggregated
+  :class:`~repro.errors.SweepError`; under ``degrade`` it returns the
+  full partial result list plus a failure manifest
+  (``last_failures`` / ``last_stats``);
+- **resumably**: with ``checkpoint=<path>``, completed cells journal to
+  an append-only manifest (:class:`~.checkpoint.SweepJournal`) flushed
+  per cell, so an interrupted, killed, or strict-aborted sweep resumes
+  recomputing only unfinished cells.  ``KeyboardInterrupt`` shuts the
+  pool down (``cancel_futures=True``) and flushes the journal before
+  propagating;
+- **verifiably-on-purpose**: a seed-deterministic
+  :class:`~.faults.FaultPlan` can inject worker crashes, cell
+  exceptions, hangs, and cache corruption at chosen cells, so every one
+  of the recovery paths above is exercisable in tests and CI.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
+from ..errors import SweepError
 from .cache import ResultCache, code_fingerprint
+from .checkpoint import SweepJournal, sweep_id
+from .faults import FaultInjector, FaultPlan, trip
 from .job import Job, JobResult, resolve_callable, run_job
+from .policy import STRICT, RetryPolicy, parse_failure_policy
 from .seeding import derive_seed
 
 #: Environment knob mirrored by the CLI/pytest ``--jobs`` options.
 JOBS_ENV = "REPRO_JOBS"
 
+_warned_negative_jobs = False
+
 
 def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS`` (serial when unset or invalid)."""
+    """Worker count from ``REPRO_JOBS`` (serial when unset or invalid).
+
+    A negative value clamps to serial (with a one-time warning) instead
+    of flowing into ``ProcessPoolExecutor(max_workers=<0)``.
+    """
+    global _warned_negative_jobs
     raw = os.environ.get(JOBS_ENV, "")
     try:
         jobs = int(raw)
     except ValueError:
+        return 1
+    if jobs < 0:
+        if not _warned_negative_jobs:
+            _warned_negative_jobs = True
+            warnings.warn(
+                f"{JOBS_ENV}={jobs} is negative; clamping to serial (1)",
+                RuntimeWarning, stacklevel=2,
+            )
         return 1
     return jobs if jobs != 0 else (os.cpu_count() or 1)
 
@@ -54,11 +95,21 @@ def _init_worker(path: list[str]) -> None:
             sys.path.insert(0, entry)
 
 
-def _execute_cell(item: tuple[Job, int | None]) -> tuple[Any, float]:
-    job, seed = item
+def _execute_cell(item: tuple[Job, int | None, tuple | None, bool]) -> tuple[Any, float]:
+    """Run one cell attempt (worker and in-process path); the optional
+    fault spec trips *before* the cell body, crashing/raising/hanging as
+    planned."""
+    job, seed, fault_spec, in_worker = item
     t0 = time.perf_counter()
+    if fault_spec is not None:
+        trip(fault_spec, in_worker)
     value = run_job(job, seed)
     return value, time.perf_counter() - t0
+
+
+#: Exception types that mean "this payload/result cannot cross the process
+#: boundary" — the pool is useless for the sweep, not just for one attempt.
+_PICKLE_ERRORS = (pickle.PicklingError, AttributeError, TypeError)
 
 
 class SweepRunner:
@@ -68,6 +119,13 @@ class SweepRunner:
     ``None`` = read ``REPRO_JOBS``); ``root_seed`` anchors per-cell seed
     derivation; ``cache`` is a :class:`ResultCache`, a directory path, or
     ``None`` to disable caching.
+
+    Fault-tolerance knobs: ``policy`` is the sweep-level failure policy
+    (``"strict"`` or ``"degrade"``); ``retry`` a :class:`RetryPolicy`
+    (attempts/backoff/timeout); ``timeout_s`` a convenience override of
+    ``retry.timeout_s``; ``checkpoint`` a journal path enabling
+    checkpoint/resume; ``fault_plan`` a deterministic
+    :class:`~.faults.FaultPlan` for chaos testing.
     """
 
     def __init__(
@@ -76,6 +134,11 @@ class SweepRunner:
         root_seed: int = 0,
         cache: ResultCache | str | os.PathLike | None = None,
         chunk_size: int | None = None,
+        policy: str = STRICT,
+        retry: RetryPolicy | None = None,
+        timeout_s: float | None = None,
+        checkpoint: str | os.PathLike | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if jobs is None:
             jobs = default_jobs()
@@ -88,9 +151,23 @@ class SweepRunner:
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
-        self.chunk_size = chunk_size
+        self.chunk_size = chunk_size  # retained for API compatibility; unused
+        self.policy = parse_failure_policy(policy)
+        if retry is None:
+            retry = RetryPolicy()
+        if timeout_s is not None:
+            retry = retry.with_timeout(timeout_s)
+        self.retry = retry
+        self.checkpoint = checkpoint
+        self.fault_plan = fault_plan
         #: Execution summary of the most recent :meth:`run`.
         self.last_stats: dict[str, Any] = {}
+        #: Failure manifest of the most recent :meth:`run` (``ok=False``
+        #: :class:`JobResult` records, in sweep input order).
+        self.last_failures: list[JobResult] = []
+        #: The injector used by the most recent :meth:`run` (``None``
+        #: without a fault plan); ``last_injector.tripped`` logs what fired.
+        self.last_injector: FaultInjector | None = None
 
     # -- seed/cache bookkeeping ---------------------------------------------------
 
@@ -118,12 +195,16 @@ class SweepRunner:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self, cells: Sequence[Job]) -> list[JobResult]:
+    def run(self, cells: Sequence[Job], resume: bool = True) -> list[JobResult]:
         """Execute ``cells``; results come back in input order.
 
         The output is bit-identical to running the cells in a plain
-        serial loop: parallelism, chunking, worker scheduling, and cache
-        hits are all invisible in the result set.
+        serial loop: parallelism, retries, worker scheduling, cache hits,
+        and journal resumption are all invisible in the result set.
+        Failed cells appear as ``ok=False`` records under ``degrade``;
+        under ``strict`` the sweep raises :class:`SweepError` once every
+        cell has had its attempts (completed cells are still journalled
+        first, so a strict abort is resumable).
         """
         cells = list(cells)
         keys = [job.key for job in cells]
@@ -133,12 +214,33 @@ class SweepRunner:
 
         seeds = [self.seed_for(job) for job in cells]
         results: list[JobResult | None] = [None] * len(cells)
-        pending: list[int] = []
+        failures: list[JobResult] = []
+        injector = FaultInjector(self.fault_plan) if self.fault_plan else None
+        self.last_injector = injector
 
+        # Checkpoint journal: replay completed cells of this exact sweep.
+        journal: SweepJournal | None = None
+        journal_hits = 0
+        if self.checkpoint is not None:
+            journal = SweepJournal(self.checkpoint)
+            journal_id = sweep_id(self.root_seed, keys, code_fingerprint())
+            if resume:
+                done = journal.load(journal_id)
+                for i, job in enumerate(cells):
+                    entry = done.get(job.key)
+                    if entry is not None and entry.seed == seeds[i]:
+                        results[i] = entry
+                        journal_hits += 1
+            journal.open_for(journal_id, resume=resume)
+
+        # Result cache: serve identical (params, seed, code) cells from disk.
         fingerprint_memo: dict[str, str] = {}
         cache_keys: dict[int, str] = {}
-        if self.cache is not None:
-            for i, job in enumerate(cells):
+        pending: list[int] = []
+        for i, job in enumerate(cells):
+            if results[i] is not None:
+                continue
+            if self.cache is not None:
                 key = self._cache_key(job, seeds[i], fingerprint_memo)
                 cache_keys[i] = key
                 value = self.cache.get(key)
@@ -146,72 +248,313 @@ class SweepRunner:
                     results[i] = JobResult(
                         key=job.key, value=value, seed=seeds[i], cached=True
                     )
-                else:
-                    pending.append(i)
-        else:
-            pending = list(range(len(cells)))
+                    continue
+            pending.append(i)
+
+        cache_hits = sum(
+            1 for r in results if r is not None and r.cached
+        )
+
+        def finish(i: int, result: JobResult) -> None:
+            results[i] = result
+            if not result.ok:
+                failures.append(result)
+                return
+            if journal is not None:
+                journal.record(result)
+            if self.cache is not None:
+                self.cache.put(cache_keys[i], result.value)
+                if injector is not None and injector.corruption_for(i, cells[i].key):
+                    injector.corrupt_entry(self.cache, cache_keys[i])
 
         workers = min(self.jobs, len(pending))
         mode = "serial" if workers <= 1 else "parallel"
+        dispatch_stats = {"retries": 0, "timeouts": 0, "pool_breaks": 0}
         if pending:
-            payloads = [(cells[i], seeds[i]) for i in pending]
-            if workers > 1:
-                outcomes = self._run_pool(payloads, workers)
-                if outcomes is None:
-                    mode = "serial-fallback"
-                    outcomes = [_execute_cell(p) for p in payloads]
-            else:
-                outcomes = [_execute_cell(p) for p in payloads]
-            for i, (value, duration) in zip(pending, outcomes):
-                results[i] = JobResult(
-                    key=cells[i].key, value=value, seed=seeds[i],
-                    duration_s=duration,
+            try:
+                mode = self._dispatch(
+                    cells, seeds, pending, workers, finish, injector,
+                    dispatch_stats,
                 )
-                if self.cache is not None:
-                    self.cache.put(cache_keys[i], value)
+            except KeyboardInterrupt:
+                # Completed cells are already journalled (flushed per
+                # record); close cleanly so a resume picks them up.
+                if journal is not None:
+                    journal.close()
+                raise
 
+        self.last_failures = failures
         self.last_stats = {
             "cells": len(cells),
             "executed": len(pending),
-            "cache_hits": len(cells) - len(pending),
+            "cache_hits": cache_hits,
+            "journal_hits": journal_hits,
             "workers": workers if mode == "parallel" else 1,
             "mode": mode,
+            "failures": len(failures),
+            "failed": [r.key for r in failures],
+            **dispatch_stats,
         }
+
+        if journal is not None:
+            if failures:
+                journal.close()  # keep: unfinished cells resume later
+            else:
+                journal.complete()
+
+        if failures and self.policy == STRICT:
+            raise SweepError(failures, [r for r in results if r is not None])
         return [r for r in results if r is not None]
 
     def values(self, cells: Sequence[Job]) -> list[Any]:
         """Just the cell values, in input order."""
         return [r.value for r in self.run(cells)]
 
-    def _run_pool(
-        self, payloads: list[tuple[Job, int | None]], workers: int
-    ) -> list[tuple[Any, float]] | None:
-        """Fan ``payloads`` out over a process pool; ``None`` means the
-        pool could not run them (caller falls back to the serial loop)."""
-        chunk = self.chunk_size or max(1, len(payloads) // (workers * 4))
-        try:
-            import multiprocessing
+    # -- the resilient dispatcher -------------------------------------------------
 
-            # fork (where available) shares the parent's imported modules
-            # and sys.path with zero per-worker warmup; elsewhere the
-            # initializer replays the import path for spawned workers.
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=context,
-                initializer=_init_worker,
-                initargs=(list(sys.path),),
-            ) as pool:
-                return list(pool.map(_execute_cell, payloads, chunksize=chunk))
-        except (OSError, ImportError, BrokenProcessPool,
-                pickle.PicklingError, AttributeError, TypeError):
-            # No usable pool (sandboxed environment, dead workers) or an
-            # unpicklable payload/result — pickle reports the latter as
-            # PicklingError, AttributeError (local objects), or TypeError
-            # (unpicklable types) depending on the object.  The serial
-            # loop is always available and re-raises any genuine cell
-            # error.
+    def _dispatch(
+        self,
+        cells: list[Job],
+        seeds: list[int | None],
+        pending: list[int],
+        workers: int,
+        finish: Callable[[int, JobResult], None],
+        injector: FaultInjector | None,
+        stats: dict[str, int],
+    ) -> str:
+        """Execute ``pending`` cell indices with retries/timeouts,
+        reporting each completion through ``finish``; returns the mode
+        string (``serial``, ``parallel``, or ``serial-fallback``)."""
+        policy = self.retry
+        max_att = policy.max_attempts
+        timeout_s = policy.timeout_s
+        attempts: dict[int, int] = dict.fromkeys(pending, 0)
+        ready_at: dict[int, float] = dict.fromkeys(pending, 0.0)
+        queue: deque[int] = deque(pending)
+        serial_only = workers <= 1
+        mode = "serial" if serial_only else "parallel"
+        pool: ProcessPoolExecutor | None = None
+        in_flight: dict[Any, tuple[int, float]] = {}
+        # Runaway guard: legitimate fault recovery rebuilds the pool a
+        # bounded number of times; anything beyond this is a systemically
+        # broken pool and the serial loop is the only safe executor.
+        max_pool_breaks = 2 * len(pending) + 4
+
+        def spec_for(idx: int, attempt: int) -> tuple | None:
+            if injector is None:
+                return None
+            return injector.spec_for(idx, cells[idx].key, attempt)
+
+        def record_failure(idx: int, error_type: str, message: str) -> None:
+            if attempts[idx] >= max_att:
+                finish(idx, JobResult(
+                    key=cells[idx].key, value=None, seed=seeds[idx],
+                    ok=False, error=message, error_type=error_type,
+                    attempts=attempts[idx],
+                ))
+            else:
+                stats["retries"] += 1
+                ready_at[idx] = time.monotonic() + policy.backoff_s(attempts[idx])
+                queue.append(idx)
+
+        def run_inproc(idx: int) -> None:
+            attempts[idx] += 1
+            try:
+                value, duration = _execute_cell(
+                    (cells[idx], seeds[idx], spec_for(idx, attempts[idx]), False)
+                )
+            except Exception as exc:
+                record_failure(idx, type(exc).__name__, str(exc) or repr(exc))
+                return
+            finish(idx, JobResult(
+                key=cells[idx].key, value=value, seed=seeds[idx],
+                duration_s=duration, attempts=attempts[idx],
+            ))
+
+        def next_ready(now: float) -> int | None:
+            for _ in range(len(queue)):
+                idx = queue.popleft()
+                if ready_at[idx] <= now:
+                    return idx
+                queue.append(idx)
             return None
+
+        def retire_pool(cancel: bool) -> None:
+            nonlocal pool
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=cancel)
+                pool = None
+
+        def drop_in_flight_uncharged() -> None:
+            """Re-queue every in-flight cell without charging an attempt
+            (collateral damage from someone else's crash/timeout)."""
+            for _fut, (idx, _dl) in in_flight.items():
+                attempts[idx] -= 1
+                queue.append(idx)
+            in_flight.clear()
+
+        def break_pool() -> None:
+            nonlocal serial_only, mode
+            stats["pool_breaks"] += 1
+            drop_in_flight_uncharged()
+            retire_pool(cancel=True)
+            if stats["pool_breaks"] > max_pool_breaks:
+                serial_only = True
+                mode = "serial-fallback"
+
+        def go_serial() -> None:
+            nonlocal serial_only, mode
+            serial_only = True
+            mode = "serial-fallback"
+            drop_in_flight_uncharged()
+            retire_pool(cancel=True)
+
+        def ensure_pool() -> None:
+            nonlocal pool
+            if pool is not None or serial_only:
+                return
+            try:
+                import multiprocessing
+
+                # fork (where available) shares the parent's imported
+                # modules and sys.path with zero per-worker warmup;
+                # elsewhere the initializer replays the import path for
+                # spawned workers.
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=_init_worker,
+                    initargs=(list(sys.path),),
+                )
+            except (OSError, ImportError, ValueError, RuntimeError):
+                go_serial()
+
+        try:
+            while queue or in_flight:
+                if serial_only:
+                    idx = queue.popleft()
+                    delay = ready_at[idx] - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                    run_inproc(idx)
+                    continue
+
+                # Dispatch every ready cell up to the worker limit.
+                now = time.monotonic()
+                while queue and len(in_flight) < workers and not serial_only:
+                    idx = next_ready(now)
+                    if idx is None:
+                        break
+                    if (policy.serial_final_attempt and max_att > 1
+                            and attempts[idx] == max_att - 1):
+                        # Final attempt: in-process, immune to pool flakiness.
+                        run_inproc(idx)
+                        now = time.monotonic()
+                        continue
+                    ensure_pool()
+                    if serial_only:
+                        queue.appendleft(idx)
+                        break
+                    attempts[idx] += 1
+                    payload = (cells[idx], seeds[idx],
+                               spec_for(idx, attempts[idx]), True)
+                    try:
+                        fut = pool.submit(_execute_cell, payload)
+                    except (BrokenProcessPool, RuntimeError):
+                        attempts[idx] -= 1
+                        queue.appendleft(idx)
+                        break_pool()
+                        continue
+                    deadline = now + timeout_s if timeout_s else math.inf
+                    in_flight[fut] = (idx, deadline)
+                if serial_only or not in_flight:
+                    if not serial_only and queue:
+                        # Nothing in flight, nothing ready: sleep out the
+                        # shortest backoff.
+                        soonest = min(ready_at[i] for i in queue)
+                        pause = soonest - time.monotonic()
+                        if pause > 0:
+                            time.sleep(pause)
+                    continue
+
+                # Wake on the first completion, the nearest deadline, or
+                # the nearest retry-ready time (to keep workers fed).
+                wake = min(dl for (_i, dl) in in_flight.values())
+                if queue and len(in_flight) < workers:
+                    wake = min(wake, min(ready_at[i] for i in queue))
+                wait_t = (None if wake == math.inf
+                          else max(0.0, wake - time.monotonic()))
+                done, _ = futures_wait(
+                    set(in_flight), timeout=wait_t, return_when=FIRST_COMPLETED
+                )
+
+                broken = False
+                for fut in done:
+                    idx, _dl = in_flight.pop(fut)
+                    try:
+                        value, duration = fut.result()
+                    except BrokenProcessPool:
+                        # The worker running this cell (or a sibling)
+                        # died; charge the attempt and re-dispatch on a
+                        # fresh pool.
+                        broken = True
+                        record_failure(
+                            idx, "WorkerCrash",
+                            "worker process died (BrokenProcessPool)",
+                        )
+                    except _PICKLE_ERRORS as exc:
+                        # The payload or result cannot cross the process
+                        # boundary at all: the pool is useless for this
+                        # sweep.  Uncharge and finish in-process, where
+                        # no pickling happens (and genuine cell errors of
+                        # these types still surface as failures there).
+                        attempts[idx] -= 1
+                        queue.appendleft(idx)
+                        go_serial()
+                        break
+                    except Exception as exc:
+                        record_failure(
+                            idx, type(exc).__name__, str(exc) or repr(exc)
+                        )
+                    else:
+                        finish(idx, JobResult(
+                            key=cells[idx].key, value=value, seed=seeds[idx],
+                            duration_s=duration, attempts=attempts[idx],
+                        ))
+                if serial_only:
+                    continue
+                if broken:
+                    break_pool()
+                    continue
+
+                # Per-cell wall-clock timeouts: a worker stuck inside a
+                # cell cannot be preempted individually, so the expired
+                # cell is charged + failed and the whole pool is retired
+                # (innocent in-flight cells re-dispatch uncharged).
+                if timeout_s:
+                    now = time.monotonic()
+                    expired = [
+                        fut for fut, (_i, dl) in in_flight.items() if dl <= now
+                    ]
+                    if expired:
+                        stats["timeouts"] += len(expired)
+                        for fut in expired:
+                            idx, _dl = in_flight.pop(fut)
+                            record_failure(
+                                idx, "CellTimeout",
+                                f"cell exceeded {timeout_s}s wall-clock "
+                                f"budget (attempt {attempts[idx]})",
+                            )
+                        drop_in_flight_uncharged()
+                        retire_pool(cancel=True)
+            # Normal completion: a clean synchronous shutdown.
+            retire_pool(cancel=False)
+        finally:
+            # KeyboardInterrupt / unexpected error: abandon workers and
+            # cancel anything not yet started.
+            retire_pool(cancel=True)
+        return mode

@@ -7,7 +7,9 @@ them (lambdas and locals are rejected at Job construction).
 
 from __future__ import annotations
 
+import os
 import random
+import warnings
 
 import pytest
 
@@ -18,6 +20,7 @@ from repro.runner import (
     ResultCache,
     SweepRunner,
     canonical_repr,
+    default_jobs,
     derive_seed,
     stable_hash,
 )
@@ -124,6 +127,21 @@ def test_default_jobs_reads_env(monkeypatch):
     assert SweepRunner().jobs == 1
 
 
+def test_default_jobs_negative_clamps_to_serial_with_warning(monkeypatch):
+    monkeypatch.setenv(runner_module.JOBS_ENV, "-3")
+    monkeypatch.setattr(runner_module, "_warned_negative_jobs", False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert default_jobs() == 1
+    assert any("clamping to serial" in str(w.message) for w in caught)
+    # The warning fires once; the clamp always holds (no ValueError from
+    # ProcessPoolExecutor(max_workers=-3)).
+    with warnings.catch_warnings(record=True) as again:
+        warnings.simplefilter("always")
+        assert SweepRunner().jobs == 1
+    assert not again
+
+
 # -- result cache ------------------------------------------------------------
 
 
@@ -175,6 +193,45 @@ def test_cache_mixed_hit_miss_preserves_order(tmp_path):
     assert results == SweepRunner(jobs=1, root_seed=3).run(cells)
 
 
+def test_cache_corrupt_entry_quarantined_not_rereads(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    job = Job.of(grid_cell, key="k", a=1, b="p")
+    SweepRunner(jobs=1, root_seed=3, cache=cache).run([job])
+    (entry,) = (tmp_path / "c").glob("*.pkl")
+    entry.write_bytes(b"torn garbage, not a cache entry")
+
+    warm_cache = ResultCache(tmp_path / "c")
+    warm = SweepRunner(jobs=1, root_seed=3, cache=warm_cache)
+    results = warm.run([job])
+    assert warm.last_stats["executed"] == 1  # degraded to a miss...
+    assert warm_cache.corrupt == 1
+    # ...and the bad file left the lookup path on first detection.
+    assert results == SweepRunner(jobs=1, root_seed=3).run([job])
+    quarantined = list((tmp_path / "c" / "quarantine").glob("*.pkl"))
+    assert [p.name for p in quarantined] == [entry.name]
+
+    # The re-store healed the entry: the next run is a pure cache hit.
+    healed = SweepRunner(jobs=1, root_seed=3, cache=ResultCache(tmp_path / "c"))
+    healed.run([job])
+    assert healed.last_stats["executed"] == 0
+
+
+def test_cache_verify_scrub(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cells = make_grid()[:4]
+    SweepRunner(jobs=1, root_seed=3, cache=cache).run(cells)
+    entries = sorted((tmp_path / "c").glob("*.pkl"))
+    entries[0].write_bytes(b"\x00bitrot\x00")
+
+    report = ResultCache(tmp_path / "c").verify()
+    assert report["checked"] == 4
+    assert report["ok"] == 3
+    assert report["corrupt"] == [entries[0].stem]
+    assert report["quarantined"] == 1
+    # Scrub is idempotent: quarantined entries are out of the directory.
+    assert ResultCache(tmp_path / "c").verify()["checked"] == 3
+
+
 def test_cache_clear(tmp_path):
     cache = ResultCache(tmp_path / "c")
     runner = SweepRunner(jobs=1, cache=cache)
@@ -220,7 +277,68 @@ def unpicklable_cell(tag: str):
     return lambda: (lambda: tag)
 
 
+class _AlwaysBrokenPool:
+    """A pool whose every submit reports a dead worker — the repeated
+    mid-sweep ``BrokenProcessPool`` shape (e.g. cgroup OOM-killing each
+    fresh worker)."""
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def submit(self, fn, *args, **kwargs):
+        from concurrent.futures.process import BrokenProcessPool
+
+        raise BrokenProcessPool("worker died before the task ran")
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+def test_persistent_broken_pool_degrades_to_serial(monkeypatch):
+    monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _AlwaysBrokenPool)
+    cells = make_grid()
+    runner = SweepRunner(jobs=4, root_seed=3)
+    results = runner.run(cells)
+    assert runner.last_stats["mode"] == "serial-fallback"
+    assert runner.last_stats["pool_breaks"] > 0
+    assert results == SweepRunner(jobs=1, root_seed=3).run(cells)
+
+
+def interruptible_cell(a: int, flag_path: str, seed: int) -> tuple:
+    if a == 2 and os.path.exists(flag_path):
+        raise KeyboardInterrupt
+    return (a, seed)
+
+
+def test_keyboard_interrupt_flushes_checkpoint_for_resume(tmp_path):
+    flag = tmp_path / "interrupt-now"
+    flag.touch()
+    cells = [
+        Job.of(interruptible_cell, key=f"k/{i}", a=i, flag_path=str(flag))
+        for i in range(6)
+    ]
+    journal = tmp_path / "sweep.journal"
+    runner = SweepRunner(jobs=1, root_seed=1, checkpoint=journal)
+    with pytest.raises(KeyboardInterrupt):
+        runner.run(cells)
+    assert journal.exists()  # completed cells were flushed before the abort
+
+    flag.unlink()  # "restart": the interrupt condition is gone
+    resumed = SweepRunner(jobs=1, root_seed=1, checkpoint=journal)
+    results = resumed.run(cells)
+    assert resumed.last_stats["journal_hits"] == 2  # cells 0 and 1
+    assert resumed.last_stats["executed"] == 4
+    assert [r.key for r in results] == [job.key for job in cells]
+    assert results == SweepRunner(jobs=1, root_seed=1).run(cells)
+    assert not journal.exists()
+
+
 def test_jobresult_equality_ignores_bookkeeping():
     a = JobResult(key="k", value=1, seed=2, cached=True, duration_s=0.5)
-    b = JobResult(key="k", value=1, seed=2, cached=False, duration_s=9.9)
+    b = JobResult(key="k", value=1, seed=2, cached=False, duration_s=9.9,
+                  attempts=3, resumed=True)
     assert a == b
+    # ...but a failure never equals a success.
+    failed = JobResult(key="k", value=None, seed=2, ok=False,
+                       error="boom", error_type="RuntimeError")
+    assert failed != JobResult(key="k", value=None, seed=2)
