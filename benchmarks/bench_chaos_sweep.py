@@ -10,6 +10,14 @@ Runs the real epoch-model grid (the same cells behind fig3/table4) twice:
    a *permanent* cell exception (every attempt), with the ``degrade``
    failure policy.
 
+``--fleet`` runs the *fleet* chaos tier instead: two real
+``python -m repro worker serve`` subprocesses on loopback TCP, with a
+crash fault hard-exiting one worker mid-sweep (the runner must detect
+the lost worker, re-dispatch its cell on the survivor, and finish) and a
+permanent cell error exercising the failure manifest.  Gated on the
+survivor results being bit-identical to the clean serial run and on the
+crashed worker process actually having died with the injected exit code.
+
 Asserted on every run:
 
 - the chaos sweep completes (no exception escapes);
@@ -32,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -47,7 +56,9 @@ from repro.runner import (
     RetryPolicy,
     SweepRunner,
     derive_seed,
+    spawn_worker_process,
 )
+from repro.runner.faults import CRASH_EXIT_CODE
 from repro.sim.epoch import run_epoch_cell
 from repro.workloads import SPEC2006_INT
 
@@ -74,6 +85,107 @@ def sweep_jobs(horizon_s: float) -> list[Job]:
     ]
 
 
+def run_fleet(horizon: float) -> int:
+    """The fleet chaos tier: kill a real TCP worker mid-sweep.
+
+    Two ``python -m repro worker serve`` subprocesses on loopback; a
+    crash fault hard-exits whichever one draws the target cell.  The
+    sweep must finish on the survivor with results bit-identical to the
+    clean serial run, and the dead worker must show the injected exit
+    code.  Environments that cannot spawn subprocesses or bind loopback
+    sockets skip gracefully (the in-process conformance suite still
+    covers the protocol there).
+    """
+    cells = sweep_jobs(horizon)
+    clean = SweepRunner(jobs=1, root_seed=ROOT_SEED, cache=None).run(cells)
+    clean_by_key = {r.key: r for r in clean}
+
+    try:
+        workers = [spawn_worker_process(), spawn_worker_process()]
+    except (OSError, ValueError) as exc:
+        print(f"fleet workers unavailable ({exc}); skipping fleet tier")
+        return 0
+    procs = [proc for proc, _addr in workers]
+    addresses = [addr for _proc, addr in workers]
+
+    plan = FaultPlan.of(
+        Fault("crash", CRASH_CELL, attempts=(1,)),
+        Fault("error", ERROR_CELL, attempts=None),
+    )
+    runner = SweepRunner(
+        root_seed=ROOT_SEED, cache=None, policy="degrade",
+        backend="tcp", workers=addresses,
+        retry=RetryPolicy(max_attempts=3, backoff_base_s=0.05),
+        fault_plan=plan,
+    )
+    try:
+        results = runner.run(cells)
+        stats = runner.last_stats
+
+        assert len(results) == len(cells), "fleet sweep must complete every cell"
+        failed = [r.key for r in results if not r.ok]
+        assert failed == [cells[ERROR_CELL].key], (
+            f"failure manifest {failed} != injected [{cells[ERROR_CELL].key}]"
+        )
+        survivors = [r for r in results if r.ok]
+        assert all(r == clean_by_key[r.key] for r in survivors), (
+            "survivor results must be bit-identical to the clean serial run"
+        )
+        assert stats["backend"] == "tcp", stats
+        assert stats["workers_lost"] >= 1, (
+            "the crash fault must cost the fleet a worker"
+        )
+        assert stats["retries"] >= 1, "the crashed cell must be retried"
+
+        # The injected crash hard-exits the worker *process*, not just
+        # its connection: one subprocess must be dead with the crash code.
+        deadline = time.monotonic() + 10.0
+        codes: list[int | None] = []
+        while time.monotonic() < deadline:
+            codes = [proc.poll() for proc in procs]
+            if CRASH_EXIT_CODE in codes:
+                break
+            time.sleep(0.1)
+        assert CRASH_EXIT_CODE in codes, (
+            f"no worker died with exit code {CRASH_EXIT_CODE}: {codes}"
+        )
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except Exception:
+                proc.kill()
+
+    lines = [
+        f"fleet chaos: {len(cells)} epoch cells, horizon {horizon:.0f}s, "
+        f"2 loopback TCP workers",
+        f"faults: crash@{cells[CRASH_CELL].key} (worker hard-exit, attempt 1), "
+        f"error@{cells[ERROR_CELL].key} (permanent)",
+        f"recovery: workers_lost={stats['workers_lost']} "
+        f"retries={stats['retries']} fleet_size={stats['fleet_size']}",
+        f"failure manifest: {stats['failed']} (expected exactly the "
+        "permanent fault)",
+        f"survivors: {len(survivors)}/{len(cells)} bit-identical to clean "
+        "serial run; crashed worker exited {0}".format(CRASH_EXIT_CODE),
+    ]
+    text = "\n".join(lines) + "\n"
+    print(text)
+    publish("chaos_fleet", text, data={
+        "cells": len(cells),
+        "horizon_s": horizon,
+        "fleet_size": stats["fleet_size"],
+        "workers_lost": stats["workers_lost"],
+        "retries": stats["retries"],
+        "failed": stats["failed"],
+        "survivors_equal": True,
+        "crash_exit_code": CRASH_EXIT_CODE,
+    })
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -82,9 +194,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker count for the chaos run (default 2)")
     parser.add_argument("--horizon", type=float, default=20.0,
                         help="simulated seconds per epoch cell")
+    parser.add_argument("--fleet", action="store_true",
+                        help="run the TCP fleet chaos tier (two loopback "
+                             "workers, one killed mid-sweep) instead of "
+                             "the pool tier")
     args = parser.parse_args(argv)
 
     horizon = 3.0 if args.smoke else args.horizon
+    if args.fleet:
+        return run_fleet(horizon)
     cells = sweep_jobs(horizon)
     assert len(cells) > max(CRASH_CELL, HANG_CELL, ERROR_CELL)
 
@@ -163,6 +281,11 @@ def main(argv: list[str] | None = None) -> int:
 def test_chaos_smoke():
     """Pytest entry: injected crash/hang/error sweep, degrade semantics."""
     assert main(["--smoke"]) == 0
+
+
+def test_fleet_chaos_smoke():
+    """Pytest entry: TCP fleet sweep with a worker killed mid-run."""
+    assert main(["--smoke", "--fleet"]) == 0
 
 
 if __name__ == "__main__":

@@ -8,8 +8,12 @@ expose the sweep execution knobs:
 - ``--fail-policy degrade`` returns partial sweep results plus a failure
   manifest instead of raising on the first exhausted cell
   (``REPRO_FAIL_POLICY``);
-- ``--cell-timeout 300`` bounds each cell attempt's wall clock in pool
-  mode (``REPRO_CELL_TIMEOUT``, seconds).
+- ``--cell-timeout 300`` bounds each cell attempt's wall clock on
+  preemptible backends (``REPRO_CELL_TIMEOUT``, seconds);
+- ``--backend tcp --workers HOST:PORT,...`` runs sweep grids on an
+  explicit executor backend, e.g. a TCP fleet of
+  ``python -m repro worker serve`` processes (``REPRO_BACKEND`` /
+  ``REPRO_WORKERS``; results stay bit-identical on any backend).
 """
 
 from __future__ import annotations
@@ -45,8 +49,24 @@ def pytest_addoption(parser):
         default=None,
         metavar="S",
         help="per-attempt wall-clock budget (seconds) for each sweep "
-        "cell, enforced in pool mode (default: REPRO_CELL_TIMEOUT "
-        "or unlimited)",
+        "cell, enforced on preemptible backends (default: "
+        "REPRO_CELL_TIMEOUT or unlimited)",
+    )
+    parser.addoption(
+        "--backend",
+        action="store",
+        default=None,
+        choices=("serial", "process", "tcp"),
+        help="executor backend for sweep-shaped benches (default: "
+        "REPRO_BACKEND, else process when --jobs > 1)",
+    )
+    parser.addoption(
+        "--workers",
+        action="store",
+        default=None,
+        metavar="HOST:PORT[,...]",
+        help="tcp fleet worker addresses for --backend tcp "
+        "(default: REPRO_WORKERS)",
     )
 
 
@@ -60,3 +80,9 @@ def pytest_configure(config):
     timeout = config.getoption("--cell-timeout", default=None)
     if timeout is not None:
         os.environ["REPRO_CELL_TIMEOUT"] = str(float(timeout))
+    backend = config.getoption("--backend", default=None)
+    if backend is not None:
+        os.environ["REPRO_BACKEND"] = backend
+    workers = config.getoption("--workers", default=None)
+    if workers is not None:
+        os.environ["REPRO_WORKERS"] = workers

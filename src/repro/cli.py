@@ -7,9 +7,18 @@ Commands map onto the library's headline capabilities:
 - ``defense-grid`` — the mitigation x attack matrix;
 - ``spec-overhead`` — the Figure 3/Table 4 epoch study;
 - ``probe-policy`` — reverse-engineer the LLC replacement policy;
-- ``cache`` — scrub (``verify``) or empty (``clear``) the sweep result
-  cache; corrupt entries are quarantined so they never poison a sweep;
+- ``cache`` — scrub (``verify``, exits nonzero when corruption is found)
+  or empty (``clear``) the sweep result cache; corrupt entries are
+  quarantined so they never poison a sweep;
+- ``worker`` — serve sweep cells over TCP (``worker serve``) for the
+  multi-host fleet backend;
 - ``info`` — the simulated machine's configuration.
+
+Every sweep-running command (``defense-grid``, ``spec-overhead``) takes
+the same execution flags — ``--jobs``, ``--backend``, ``--workers``,
+``--seed``, ``--fail-policy``, ``--cell-timeout``, ``--retries`` — from
+one shared parent parser, mirroring the ``REPRO_JOBS`` / ``REPRO_BACKEND``
+/ ``REPRO_WORKERS`` environment knobs.
 
 The CLI runs everything at the scaled demo size so each command finishes
 in seconds-to-a-minute; the benchmark harness covers paper scale.
@@ -33,12 +42,14 @@ from .core import AnvilConfig, AnvilModule
 from .errors import ReproError
 from .presets import small_machine
 from .runner import (
+    BACKENDS,
     FAILURE_POLICIES,
     Job,
     ResultCache,
     RetryPolicy,
     SweepRunner,
     derive_seed,
+    serve_worker,
 )
 from .sim.epoch import double_refresh_normalized_time, run_epoch_cell
 from .units import MB
@@ -56,12 +67,66 @@ DEMO_ANVIL = AnvilConfig(
 )
 
 
+def _sweep_parent() -> argparse.ArgumentParser:
+    """The shared execution flags of every sweep-running subcommand.
+
+    One parent parser keeps ``defense-grid``/``spec-overhead`` (and any
+    future sweep command) flag-compatible with each other and with the
+    ``REPRO_JOBS``/``REPRO_BACKEND``/``REPRO_WORKERS`` environment knobs.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("sweep execution")
+    group.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the sweep (0 = one per "
+                            "CPU; default: $REPRO_JOBS or serial)")
+    group.add_argument("--backend", choices=BACKENDS, default=None,
+                       help="executor backend: serial, process, or tcp "
+                            "(default: $REPRO_BACKEND, else process when "
+                            "--jobs > 1)")
+    group.add_argument("--workers", default=None, metavar="HOST:PORT[,...]",
+                       help="tcp fleet worker addresses "
+                            "(default: $REPRO_WORKERS)")
+    group.add_argument("--seed", type=int, default=0,
+                       help="root seed; per-cell seeds derive from it")
+    group.add_argument("--fail-policy", choices=FAILURE_POLICIES,
+                       default="strict",
+                       help="strict: raise on any failed cell; degrade: "
+                            "report partial results + failure manifest")
+    group.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="S",
+                       help="per-attempt wall-clock budget per cell "
+                            "(enforced on preemptible backends)")
+    group.add_argument("--retries", type=int, default=2,
+                       help="retries per failed cell before it is "
+                            "recorded as a failure (default 2)")
+    return parent
+
+
+def _sweep_runner(args: argparse.Namespace) -> SweepRunner:
+    """A :class:`SweepRunner` wired from the shared sweep flags."""
+    return SweepRunner(
+        jobs=args.jobs, root_seed=args.seed, policy=args.fail_policy,
+        backend=args.backend, workers=args.workers,
+        retry=RetryPolicy(max_attempts=args.retries + 1,
+                          timeout_s=args.cell_timeout),
+    )
+
+
+def _print_sweep_failures(runner: SweepRunner, policy: str) -> None:
+    print(f"\n{len(runner.last_failures)} cell(s) failed "
+          f"(policy={policy}):", file=sys.stderr)
+    for failure in runner.last_failures:
+        print(f"  {failure.key}: {failure.error_type}: {failure.error}",
+              file=sys.stderr)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ANVIL (ASPLOS 2016) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    sweep_parent = _sweep_parent()
 
     attack = sub.add_parser("attack", help="run a rowhammer attack")
     attack.add_argument("--type", choices=sorted(ATTACKS), default="double-sided")
@@ -76,26 +141,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="ban the CLFLUSH instruction")
     attack.add_argument("--seed", type=int, default=0)
 
-    sub.add_parser("defense-grid", help="mitigation x attack matrix")
+    sub.add_parser("defense-grid", help="mitigation x attack matrix",
+                   parents=[sweep_parent])
 
-    overhead = sub.add_parser("spec-overhead", help="Figure 3 / Table 4 study")
+    overhead = sub.add_parser("spec-overhead", help="Figure 3 / Table 4 study",
+                              parents=[sweep_parent])
     overhead.add_argument("--seconds", type=float, default=20.0)
-    overhead.add_argument("--jobs", type=int, default=None,
-                          help="worker processes for the sweep (0 = one per "
-                               "CPU; default: $REPRO_JOBS or serial)")
-    overhead.add_argument("--seed", type=int, default=0,
-                          help="root seed; per-benchmark seeds derive from it")
-    overhead.add_argument("--fail-policy", choices=FAILURE_POLICIES,
-                          default="strict",
-                          help="strict: raise on any failed cell; degrade: "
-                               "report partial results + failure manifest")
-    overhead.add_argument("--cell-timeout", type=float, default=None,
-                          metavar="S",
-                          help="per-attempt wall-clock budget per cell "
-                               "(enforced in pool mode)")
-    overhead.add_argument("--retries", type=int, default=2,
-                          help="retries per failed cell before it is "
-                               "recorded as a failure (default 2)")
 
     cache = sub.add_parser(
         "cache", help="scrub or clear the sweep result cache")
@@ -111,6 +162,17 @@ def _build_parser() -> argparse.ArgumentParser:
     probe = sub.add_parser("probe-policy",
                            help="reverse-engineer the LLC replacement policy")
     probe.add_argument("--rounds", type=int, default=30)
+
+    worker = sub.add_parser(
+        "worker", help="serve sweep cells over TCP (fleet backend)")
+    worker.add_argument("action", choices=("serve",),
+                        help="serve: accept cells from TcpFleetBackend "
+                             "runners until interrupted")
+    worker.add_argument("--listen", default="127.0.0.1:0",
+                        metavar="HOST:PORT",
+                        help="bind address; port 0 picks a free port, "
+                             "announced as a JSON line on stdout "
+                             "(default 127.0.0.1:0)")
 
     sub.add_parser("info", help="print the simulated machine configuration")
     return parser
@@ -147,47 +209,83 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0 if (result.flips == 0) == bool(args.anvil) else 1
 
 
-def _cmd_defense_grid(_args: argparse.Namespace) -> int:
+#: The defense-grid axes (module-level so grid cells are pool/fleet-importable).
+GRID_DEFENSES = ("none", "double-refresh", "clflush-ban", "pagemap-restricted",
+                 "para", "trr", "armor", "anvil")
+GRID_ATTACKS = (("double-sided", "CLFLUSH double-sided"),
+                ("clflush-free", "CLFLUSH-free"))
+
+
+def run_defense_grid_cell(defense: str, attack: str) -> str:
+    """One (defense x attack) matrix cell; the grid sweep's job body.
+
+    Module-level and addressed by ``ATTACKS`` key so the cell is
+    importable by process-pool and TCP fleet workers.  The demo machine
+    is fully deterministic at these settings — no seed is taken, so the
+    sweep runs the cell with ``pass_seed=False``.
+    """
     from .defenses import Armor, Para, TargetedRowRefresh
     from .errors import ClflushRestrictedError, PagemapRestrictedError
 
-    def cell(defense: str, attack_cls) -> str:
-        kwargs = {"threshold_min": 30_000}
-        if defense == "double-refresh":
-            kwargs["refresh_scale"] = 2.0
-        elif defense == "clflush-ban":
-            kwargs["clflush_allowed"] = False
-        elif defense == "pagemap-restricted":
-            kwargs["pagemap_restricted"] = True
-        machine = small_machine(**kwargs)
-        if defense == "para":
-            Para(probability=0.002).install(machine)
-        elif defense == "trr":
-            TargetedRowRefresh(activation_threshold=1_000).install(machine)
-        elif defense == "armor":
-            Armor(hot_threshold=1_000).install(machine)
-        anvil = None
-        if defense == "anvil":
-            anvil = AnvilModule(machine, DEMO_ANVIL)
-            anvil.install()
-        attack = attack_cls(buffer_bytes=16 * MB)
-        try:
-            result = attack.run(machine, max_ms=20, stop_on_flip=anvil is None)
-        except (ClflushRestrictedError, PagemapRestrictedError):
-            return "blocked"
-        return "FLIPS" if result.flips else "protected"
+    kwargs = {"threshold_min": 30_000}
+    if defense == "double-refresh":
+        kwargs["refresh_scale"] = 2.0
+    elif defense == "clflush-ban":
+        kwargs["clflush_allowed"] = False
+    elif defense == "pagemap-restricted":
+        kwargs["pagemap_restricted"] = True
+    machine = small_machine(**kwargs)
+    if defense == "para":
+        Para(probability=0.002).install(machine)
+    elif defense == "trr":
+        TargetedRowRefresh(activation_threshold=1_000).install(machine)
+    elif defense == "armor":
+        Armor(hot_threshold=1_000).install(machine)
+    anvil = None
+    if defense == "anvil":
+        anvil = AnvilModule(machine, DEMO_ANVIL)
+        anvil.install()
+    attack_obj = ATTACKS[attack](buffer_bytes=16 * MB)
+    try:
+        result = attack_obj.run(machine, max_ms=20, stop_on_flip=anvil is None)
+    except (ClflushRestrictedError, PagemapRestrictedError):
+        return "blocked"
+    return "FLIPS" if result.flips else "protected"
 
-    defenses = ("none", "double-refresh", "clflush-ban", "pagemap-restricted",
-                "para", "trr", "armor", "anvil")
+
+def _cmd_defense_grid(args: argparse.Namespace) -> int:
+    cells = [
+        Job.of(
+            run_defense_grid_cell,
+            key=f"defense-grid/{defense}/{attack}",
+            pass_seed=False,
+            defense=defense,
+            attack=attack,
+        )
+        for defense in GRID_DEFENSES
+        for attack, _label in GRID_ATTACKS
+    ]
+    runner = _sweep_runner(args)
+    by_key = {r.key: r for r in runner.run(cells)}
+
+    def shown(defense: str, attack: str) -> str:
+        result = by_key.get(f"defense-grid/{defense}/{attack}")
+        if result is None or not result.ok:
+            return "FAILED"
+        return result.value
+
     rows = [
-        [d, cell(d, DoubleSidedClflushAttack), cell(d, ClflushFreeAttack)]
-        for d in defenses
+        [d] + [shown(d, attack) for attack, _label in GRID_ATTACKS]
+        for d in GRID_DEFENSES
     ]
     print(format_table(
-        ["defense", "CLFLUSH double-sided", "CLFLUSH-free"],
+        ["defense"] + [label for _attack, label in GRID_ATTACKS],
         rows,
         title="defense grid (demo machine, 30K-unit weak cells)",
     ))
+    if runner.last_failures:
+        _print_sweep_failures(runner, args.fail_policy)
+        return 1
     return 0
 
 
@@ -202,13 +300,8 @@ def _cmd_spec_overhead(args: argparse.Namespace) -> int:
         )
         for name in SPEC2006_INT
     ]
-    runner = SweepRunner(
-        jobs=args.jobs, root_seed=args.seed, policy=args.fail_policy,
-        retry=RetryPolicy(max_attempts=args.retries + 1,
-                          timeout_s=args.cell_timeout),
-    )
-    results = runner.run(cells)
-    by_key = {r.key: r for r in results}
+    runner = _sweep_runner(args)
+    by_key = {r.key: r for r in runner.run(cells)}
     rows = []
     for name in SPEC2006_INT:
         result = by_key.get(f"spec-overhead/{name}")
@@ -231,11 +324,7 @@ def _cmd_spec_overhead(args: argparse.Namespace) -> int:
               "(normalized to unprotected @64 ms)",
     ))
     if runner.last_failures:
-        print(f"\n{len(runner.last_failures)} cell(s) failed "
-              f"(policy={args.fail_policy}):", file=sys.stderr)
-        for failure in runner.last_failures:
-            print(f"  {failure.key}: {failure.error_type}: {failure.error}",
-                  file=sys.stderr)
+        _print_sweep_failures(runner, args.fail_policy)
         return 1
     return 0
 
@@ -253,6 +342,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"  quarantined     : {report['quarantined']}")
     for key in report["corrupt"]:
         print(f"    {key}")
+    # Corruption is a finding, not a success: a nonzero exit lets CI gate
+    # on a clean cache even though the entries were quarantined.
+    return 1 if report["corrupt"] else 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    try:
+        serve_worker(args.listen)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -302,6 +401,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "spec-overhead": _cmd_spec_overhead,
         "cache": _cmd_cache,
         "probe-policy": _cmd_probe_policy,
+        "worker": _cmd_worker,
         "info": _cmd_info,
     }
     try:

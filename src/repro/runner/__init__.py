@@ -1,11 +1,15 @@
-"""Declarative sweep execution: jobs, deterministic seeds, process pools,
-incremental result caching, and fault-tolerant recovery.
+"""Declarative sweep execution: jobs, deterministic seeds, pluggable
+executor backends, incremental result caching, and fault-tolerant
+recovery.
 
 Every reproduced figure/table iterates a (config x workload x seed) grid
 of independent, seeded simulations.  This package turns such a grid into
 a list of :class:`Job` cells and executes it with :class:`SweepRunner`:
-serially, across a process pool, or straight from the on-disk result
-cache — always producing the identical, input-ordered result list.  A
+in-process (:class:`SerialBackend`), across a local pool
+(:class:`ProcessPoolBackend`), sharded over a TCP fleet of worker
+machines (:class:`TcpFleetBackend`, one ``python -m repro worker serve``
+per host), or straight from the on-disk result cache — always producing
+the identical, input-ordered, bit-identical result list.  A
 cell that raises, hangs past its timeout, or kills its worker is retried
 with backoff (final attempt in-process) and, if it still fails, becomes
 a structured error record governed by the sweep's failure policy;
@@ -27,6 +31,19 @@ Quick form::
     values = runner.values(jobs)
 """
 
+from .backends import (
+    BACKENDS,
+    BackendUnavailableError,
+    CellTask,
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    TaskOutcome,
+    TcpFleetBackend,
+    TransientSubmitError,
+    WorkerHealth,
+    make_backend,
+)
 from .cache import ResultCache, code_fingerprint
 from .checkpoint import SweepJournal, sweep_id
 from .faults import (
@@ -35,39 +52,69 @@ from .faults import (
     FaultPlan,
     InjectedCrashError,
     InjectedFaultError,
+    InjectedPartitionError,
     permanent_cells,
 )
 from .job import Job, JobResult, callable_spec, resolve_callable, run_job
 from .policy import DEGRADE, FAILURE_POLICIES, STRICT, RetryPolicy, parse_failure_policy
-from .runner import JOBS_ENV, SweepRunner, default_jobs
+from .runner import (
+    BACKEND_ENV,
+    JOBS_ENV,
+    WORKERS_ENV,
+    SweepRunner,
+    default_backend,
+    default_jobs,
+    default_workers,
+)
 from .seeding import canonical_repr, derive_seed, stable_digest, stable_hash
+from .worker import serve as serve_worker
+from .worker import spawn_worker_process, start_thread_worker
 
 __all__ = [
+    "BACKENDS",
+    "BACKEND_ENV",
+    "BackendUnavailableError",
+    "CellTask",
     "DEGRADE",
+    "ExecutorBackend",
     "FAILURE_POLICIES",
     "Fault",
     "FaultInjector",
     "FaultPlan",
     "InjectedCrashError",
     "InjectedFaultError",
+    "InjectedPartitionError",
     "JOBS_ENV",
     "Job",
     "JobResult",
+    "ProcessPoolBackend",
     "ResultCache",
     "RetryPolicy",
     "STRICT",
+    "SerialBackend",
     "SweepJournal",
     "SweepRunner",
+    "TaskOutcome",
+    "TcpFleetBackend",
+    "TransientSubmitError",
+    "WORKERS_ENV",
+    "WorkerHealth",
     "callable_spec",
     "canonical_repr",
     "code_fingerprint",
+    "default_backend",
     "default_jobs",
+    "default_workers",
     "derive_seed",
+    "make_backend",
     "parse_failure_policy",
     "permanent_cells",
     "resolve_callable",
     "run_job",
+    "serve_worker",
+    "spawn_worker_process",
     "stable_digest",
     "stable_hash",
+    "start_thread_worker",
     "sweep_id",
 ]

@@ -1,0 +1,184 @@
+"""The executor-backend contract: *how* sweep cells run.
+
+:class:`~repro.runner.runner.SweepRunner` owns sweep *policy* — seed
+derivation, caching, retry/backoff, per-cell timeouts, failure policies,
+and the checkpoint journal.  Everything about where a cell's code
+actually executes lives behind :class:`ExecutorBackend`: in this process
+(:class:`~.serial.SerialBackend`), on a local process pool
+(:class:`~.process.ProcessPoolBackend`), or on a fleet of networked
+worker processes (:class:`~.tcp.TcpFleetBackend`).
+
+The contract is deliberately small:
+
+- :meth:`ExecutorBackend.start` brings the backend up (connect, warm a
+  pool); it raises :class:`BackendUnavailableError` when execution can
+  never work here, which the runner answers with its in-process serial
+  fallback.
+- :meth:`ExecutorBackend.submit` hands over one :class:`CellTask`; it
+  may raise :class:`TransientSubmitError` ("not right now — re-offer the
+  task later, uncharged") or :class:`BackendUnavailableError` ("never").
+- :meth:`ExecutorBackend.poll` blocks up to ``timeout`` seconds and
+  returns completed :class:`TaskOutcome` records.  Outcomes carry a
+  *kind* that tells the runner how to charge the cell:
+
+  ========== =====================================================
+  ``ok``      cell value computed; settle the cell
+  ``error``   the cell raised; charge the attempt, retry/backoff
+  ``lost``    the worker died under the cell; charge the attempt
+  ``requeued`` collateral damage (a sibling's crash/abandonment);
+              re-dispatch without charging an attempt
+  ``rejected`` the payload/result cannot cross this backend's
+              boundary at all; the runner goes serial for the sweep
+  ========== =====================================================
+
+- :meth:`ExecutorBackend.abandon` gives up on stuck in-flight tasks (the
+  runner's per-cell wall-clock timeout); the backend reclaims whatever
+  capacity it can and re-offers innocent tasks as ``requeued`` outcomes.
+- :meth:`ExecutorBackend.worker_health` reports per-worker liveness and
+  throughput; :meth:`ExecutorBackend.stats` aggregates counters
+  (``pool_breaks``, ``workers_lost``) that the runner merges into
+  ``last_stats``.
+
+Because every cell's seed is a pure function of (root seed, job key),
+*placement is irrelevant to results*: any two backends executing the
+same grid must produce bit-identical :class:`~repro.runner.job.JobResult`
+lists.  ``tests/test_backends.py`` enforces that conformance for every
+registered backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ...errors import ReproError
+from ..faults import trip
+from ..job import Job, run_job
+
+#: Outcome kinds (see the table in the module docstring).
+OK = "ok"
+ERROR = "error"
+LOST = "lost"
+REQUEUED = "requeued"
+REJECTED = "rejected"
+
+OUTCOME_KINDS = (OK, ERROR, LOST, REQUEUED, REJECTED)
+
+
+class BackendUnavailableError(ReproError):
+    """The backend can never execute this sweep (no pool, no reachable
+    workers, unserializable payloads...); the runner falls back to its
+    in-process serial executor."""
+
+
+class TransientSubmitError(ReproError):
+    """The backend could not accept a task *right now* (a pool mid-
+    rebuild, every fleet worker busy/just-lost); the runner re-offers
+    the task later without charging an attempt."""
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One dispatched cell attempt: the job, its derived seed, and the
+    (optional, picklable) fault spec that must trip before the body."""
+
+    task_id: int
+    index: int
+    job: Job
+    seed: int | None
+    fault_spec: tuple | None = None
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One completed/settled task as reported by a backend."""
+
+    task_id: int
+    kind: str
+    value: Any = None
+    duration_s: float = 0.0
+    error: str | None = None
+    error_type: str | None = None
+
+
+@dataclass
+class WorkerHealth:
+    """Liveness/throughput of one backend worker (health reporting)."""
+
+    worker_id: str
+    alive: bool = True
+    tasks_done: int = 0
+    tasks_failed: int = 0
+    current_task: int | None = None
+    detail: str = ""
+
+
+def run_task(task: CellTask, in_worker: bool) -> tuple[Any, float]:
+    """Execute one cell attempt in the current process.
+
+    Shared by every backend's execution site (serial, pool worker, fleet
+    worker); the fault spec trips *before* the cell body, crashing,
+    raising, hanging, or partitioning as planned.
+    """
+    t0 = time.perf_counter()
+    if task.fault_spec is not None:
+        trip(task.fault_spec, in_worker)
+    value = run_job(task.job, task.seed)
+    return value, time.perf_counter() - t0
+
+
+class ExecutorBackend:
+    """Abstract executor backend (see module docstring for the contract).
+
+    ``name`` identifies the backend in stats/CLI; ``preemptible`` tells
+    the runner whether per-cell wall-clock timeouts are enforceable (an
+    in-process cell cannot be abandoned, a pool/fleet worker can).
+    """
+
+    name: str = "?"
+    preemptible: bool = False
+
+    def start(self) -> None:
+        """Bring the backend up; raise :class:`BackendUnavailableError`
+        if execution can never work here."""
+
+    @property
+    def capacity(self) -> int:
+        """How many tasks may be in flight concurrently (live workers)."""
+        raise NotImplementedError
+
+    def submit(self, task: CellTask) -> None:
+        """Accept one task for execution (see module docstring for the
+        exception contract)."""
+        raise NotImplementedError
+
+    def poll(self, timeout: float | None) -> list[TaskOutcome]:
+        """Completed outcomes, blocking up to ``timeout`` seconds
+        (``None`` = until at least one task settles)."""
+        raise NotImplementedError
+
+    def abandon(self, task_ids: Iterable[int]) -> None:
+        """Give up on stuck in-flight tasks; innocent collateral tasks
+        come back as ``requeued`` outcomes from the next :meth:`poll`."""
+
+    def shutdown(self, cancel: bool = True) -> None:
+        """Release workers/connections; idempotent."""
+
+    def worker_health(self) -> list[WorkerHealth]:
+        """Per-worker liveness and throughput."""
+        return []
+
+    def stats(self) -> dict[str, int]:
+        """Aggregate counters merged into ``SweepRunner.last_stats``."""
+        return {}
+
+
+def normalize_addresses(workers: str | Sequence[str] | None) -> tuple[str, ...]:
+    """Worker addresses from a ``"host:port,host:port"`` string or a
+    sequence of such entries."""
+    if workers is None:
+        return ()
+    if isinstance(workers, str):
+        workers = workers.split(",")
+    return tuple(w.strip() for w in workers if w and w.strip())

@@ -1,0 +1,313 @@
+"""Multi-host TCP fleet backend: shard sweep cells across networked
+worker processes.
+
+The runner is the client; each fleet worker (``python -m repro worker
+serve --listen HOST:PORT``) is a server executing one cell at a time per
+connection.  Cells are sharded dynamically — whichever worker is idle
+gets the next ready cell — which is safe because SHA-256 per-cell seed
+derivation makes placement irrelevant to results.
+
+Lost-worker semantics feed straight into the runner's existing
+:class:`~repro.runner.policy.RetryPolicy` path:
+
+- a dropped connection (worker crashed, was killed, or the network
+  partitioned) settles that worker's in-flight cell as ``lost`` — the
+  runner charges the attempt and re-dispatches on a surviving worker;
+- :meth:`TcpFleetBackend.abandon` (per-cell wall-clock timeout) severs
+  the stuck worker's connection: the fleet shrinks by one and the sweep
+  continues on the survivors;
+- when every worker is gone, ``capacity`` reaches zero and the runner
+  falls back to its in-process serial executor — a fleet-wide outage
+  degrades a sweep, never kills it.
+
+Workers that merely *partitioned* (connection severed, process alive)
+keep serving: a later sweep can reconnect to them.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import sys
+from collections import deque
+from typing import Iterable, Sequence
+
+from .base import (
+    ERROR,
+    LOST,
+    OK,
+    REJECTED,
+    BackendUnavailableError,
+    CellTask,
+    ExecutorBackend,
+    TaskOutcome,
+    TransientSubmitError,
+    WorkerHealth,
+    normalize_addresses,
+)
+from .wire import (
+    PROTOCOL_VERSION,
+    WireError,
+    decode_value,
+    encode_value,
+    parse_address,
+    recv_message,
+    send_message,
+    split_lines,
+)
+
+#: Seconds allowed for connect + hello/welcome per worker.
+CONNECT_TIMEOUT_S = 10.0
+
+
+class _FleetWorker:
+    """Runner-side state for one connected fleet worker."""
+
+    def __init__(self, worker_id: str, sock: socket.socket, pid: int | None) -> None:
+        self.worker_id = worker_id
+        self.sock = sock
+        self.pid = pid
+        self.buffer = b""
+        self.task: CellTask | None = None
+        self.alive = True
+        self.tasks_done = 0
+        self.tasks_failed = 0
+        self.detail = ""
+
+
+class TcpFleetBackend(ExecutorBackend):
+    name = "tcp"
+    preemptible = True
+
+    def __init__(
+        self,
+        workers: str | Sequence[str],
+        connect_timeout_s: float = CONNECT_TIMEOUT_S,
+    ) -> None:
+        self.addresses = normalize_addresses(workers)
+        if not self.addresses:
+            raise ValueError("TcpFleetBackend needs at least one HOST:PORT address")
+        self.connect_timeout_s = connect_timeout_s
+        self.workers_lost = 0
+        self.fleet_size = 0
+        self._workers: list[_FleetWorker] = []
+        self._ready: deque[TaskOutcome] = deque()
+
+    # -- fleet membership ---------------------------------------------------------
+
+    def _connect(self, address: str) -> _FleetWorker | None:
+        try:
+            host, port = parse_address(address)
+            sock = socket.create_connection((host, port), timeout=self.connect_timeout_s)
+        except (OSError, ValueError):
+            return None
+        try:
+            send_message(sock, {
+                "op": "hello", "version": PROTOCOL_VERSION,
+                "path": list(sys.path),
+            })
+            sock.settimeout(self.connect_timeout_s)
+            welcome, buffer = recv_message(sock, b"")
+            if (welcome is None or welcome.get("op") != "welcome"
+                    or welcome.get("version") != PROTOCOL_VERSION):
+                sock.close()
+                return None
+            sock.settimeout(None)
+            sock.setblocking(False)
+        except (OSError, WireError):
+            sock.close()
+            return None
+        worker = _FleetWorker(address, sock, welcome.get("pid"))
+        worker.buffer = buffer
+        return worker
+
+    def start(self) -> None:
+        if self._workers:  # reconnect semantics: a fresh fleet per run
+            self.shutdown(cancel=True)
+        self._workers = []
+        unreachable = []
+        for address in self.addresses:
+            worker = self._connect(address)
+            if worker is None:
+                unreachable.append(address)
+            else:
+                self._workers.append(worker)
+        self.fleet_size = len(self._workers)
+        if not self._workers:
+            raise BackendUnavailableError(
+                f"no fleet worker reachable (tried {', '.join(unreachable)})"
+            )
+
+    def _lose(self, worker: _FleetWorker, reason: str) -> TaskOutcome | None:
+        """Mark ``worker`` dead; settle its in-flight cell as ``lost``."""
+        if not worker.alive:
+            return None
+        worker.alive = False
+        worker.detail = reason
+        self.workers_lost += 1
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+        task, worker.task = worker.task, None
+        if task is None:
+            return None
+        worker.tasks_failed += 1
+        return TaskOutcome(
+            task_id=task.task_id, kind=LOST,
+            error=f"fleet worker {worker.worker_id} lost: {reason}",
+            error_type="WorkerLost",
+        )
+
+    def _alive(self) -> list[_FleetWorker]:
+        return [w for w in self._workers if w.alive]
+
+    # -- the backend contract -----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return len(self._alive())
+
+    def submit(self, task: CellTask) -> None:
+        try:
+            payload = {
+                "op": "run", "task_id": task.task_id,
+                "job": encode_value(task.job), "seed": task.seed,
+                "fault": list(task.fault_spec) if task.fault_spec else None,
+            }
+        except Exception as exc:
+            raise BackendUnavailableError(
+                f"job cannot cross the fleet wire: {exc}"
+            ) from exc
+        for worker in self._alive():
+            if worker.task is not None:
+                continue
+            try:
+                worker.sock.setblocking(True)
+                send_message(worker.sock, payload)
+                worker.sock.setblocking(False)
+            except OSError as exc:
+                outcome = self._lose(worker, f"send failed: {exc}")
+                if outcome is not None:  # pragma: no cover — worker was idle
+                    self._ready.append(outcome)
+                continue
+            worker.task = task
+            return
+        raise TransientSubmitError("no idle fleet worker")
+
+    def poll(self, timeout: float | None) -> list[TaskOutcome]:
+        if self._ready:
+            out = list(self._ready)
+            self._ready.clear()
+            return out
+        workers = self._alive()
+        if not workers:
+            return []
+        try:
+            readable, _, _ = select.select(
+                [w.sock for w in workers], [], [], timeout
+            )
+        except OSError:
+            readable = [w.sock for w in workers]
+        out: list[TaskOutcome] = []
+        by_sock = {w.sock: w for w in workers}
+        for sock in readable:
+            worker = by_sock[sock]
+            try:
+                chunk = sock.recv(1 << 20)
+            except BlockingIOError:
+                continue
+            except OSError as exc:
+                outcome = self._lose(worker, f"recv failed: {exc}")
+                if outcome is not None:
+                    out.append(outcome)
+                continue
+            if not chunk:
+                outcome = self._lose(worker, "connection closed")
+                if outcome is not None:
+                    out.append(outcome)
+                continue
+            worker.buffer += chunk
+            try:
+                messages, worker.buffer = split_lines(worker.buffer)
+            except WireError as exc:
+                outcome = self._lose(worker, str(exc))
+                if outcome is not None:
+                    out.append(outcome)
+                continue
+            for message in messages:
+                outcome = self._handle(worker, message)
+                if outcome is not None:
+                    out.append(outcome)
+        return out
+
+    def _handle(self, worker: _FleetWorker, message: dict) -> TaskOutcome | None:
+        op = message.get("op")
+        if op == "pong":
+            return None
+        if op != "result":
+            return self._lose(worker, f"unexpected message {op!r}")
+        task, worker.task = worker.task, None
+        if task is None or message.get("task_id") != task.task_id:
+            return self._lose(worker, "result for a task it was not running")
+        if message.get("ok"):
+            try:
+                value = decode_value(message.get("value", ""))
+            except Exception as exc:
+                worker.tasks_failed += 1
+                return TaskOutcome(
+                    task_id=task.task_id, kind=REJECTED,
+                    error=f"result undecodable: {exc}", error_type="WireError",
+                )
+            worker.tasks_done += 1
+            return TaskOutcome(
+                task_id=task.task_id, kind=OK, value=value,
+                duration_s=float(message.get("duration_s", 0.0)),
+            )
+        worker.tasks_failed += 1
+        kind = REJECTED if message.get("reject") else ERROR
+        return TaskOutcome(
+            task_id=task.task_id, kind=kind,
+            error=message.get("error") or "fleet worker reported failure",
+            error_type=message.get("error_type") or "WorkerError",
+        )
+
+    def abandon(self, task_ids: Iterable[int]) -> None:
+        dropped = set(task_ids)
+        for worker in self._alive():
+            if worker.task is not None and worker.task.task_id in dropped:
+                # Sever the stuck worker; its process may still be
+                # computing, but it is out of this fleet.
+                worker.task = None
+                self._lose(worker, "abandoned past the cell deadline")
+
+    def shutdown(self, cancel: bool = True) -> None:
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            try:
+                worker.sock.setblocking(True)
+                send_message(worker.sock, {"op": "bye"})
+            except OSError:
+                pass
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+            worker.alive = False
+            worker.detail = worker.detail or "shut down"
+        self._ready.clear()
+
+    def worker_health(self) -> list[WorkerHealth]:
+        return [
+            WorkerHealth(
+                worker_id=w.worker_id, alive=w.alive,
+                tasks_done=w.tasks_done, tasks_failed=w.tasks_failed,
+                current_task=w.task.task_id if w.task else None,
+                detail=w.detail,
+            )
+            for w in self._workers
+        ]
+
+    def stats(self) -> dict[str, int]:
+        return {"workers_lost": self.workers_lost, "fleet_size": self.fleet_size}

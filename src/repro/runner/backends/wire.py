@@ -1,0 +1,123 @@
+"""Line-JSON wire protocol shared by :class:`~.tcp.TcpFleetBackend` and
+the ``python -m repro worker serve`` fleet worker.
+
+Every message is one JSON object per ``\\n``-terminated line — the same
+torn-line-safe framing the checkpoint journal uses.  Python values that
+must cross the wire intact (the :class:`~repro.runner.job.Job` payload,
+cell return values) ride as base64-encoded pickles inside JSON strings;
+everything else is plain JSON scalars.
+
+Protocol (version 1) — runner is the client, workers are servers:
+
+===========  ============================================================
+direction    message
+===========  ============================================================
+runner→w     ``{"op": "hello", "version": 1, "path": [sys.path...]}``
+w→runner     ``{"op": "welcome", "version": 1, "pid": N, "host": "..."}``
+runner→w     ``{"op": "run", "task_id": N, "job": "<b64 pickle>",
+             "seed": N|null, "fault": [kind, ...]|null}``
+w→runner     ``{"op": "result", "task_id": N, "ok": true,
+             "value": "<b64 pickle>", "duration_s": F}``
+w→runner     ``{"op": "result", "task_id": N, "ok": false,
+             "error_type": "...", "error": "...", "reject": bool}``
+runner→w     ``{"op": "ping", "token": N}`` / w→runner ``{"op": "pong", ...}``
+runner→w     ``{"op": "bye"}`` — the worker closes the connection
+===========  ============================================================
+
+A worker executes one ``run`` at a time per connection and never replies
+out of order, so ``task_id`` correlation is trivial.  ``reject: true``
+on a failed result means the value could not be serialised at all — the
+runner treats the backend as useless for this sweep (exactly the
+process-pool pickling semantics).  A dropped connection *is* the
+lost-worker signal: there are no explicit failure notifications to lose.
+
+The worker announces itself on stdout with
+``{"op": "listening", "host": ..., "port": ..., "pid": ...}`` so callers
+binding port 0 can discover the real port (and scripts can wait for
+readiness).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+from typing import Any
+
+PROTOCOL_VERSION = 1
+
+#: Cap on one wire line (a 64 MiB pickled value is a bug, not a result).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class WireError(Exception):
+    """A malformed frame or value on the fleet wire."""
+
+
+def encode_value(value: Any) -> str:
+    """Base64-pickle ``value`` for embedding in a JSON message."""
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_value(text: str) -> Any:
+    """Inverse of :func:`encode_value`."""
+    return pickle.loads(base64.b64decode(text))
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Send one line-JSON message (raises ``OSError`` on a dead peer)."""
+    sock.sendall(json.dumps(message, sort_keys=True).encode("utf-8") + b"\n")
+
+
+def split_lines(buffer: bytes) -> tuple[list[dict], bytes]:
+    """Parse every complete line in ``buffer`` into messages; returns the
+    messages and the unterminated remainder.  Undecodable lines raise
+    :class:`WireError` (a framing bug, not recoverable data)."""
+    messages: list[dict] = []
+    while b"\n" in buffer:
+        line, buffer = buffer.split(b"\n", 1)
+        if not line:
+            continue
+        try:
+            message = json.loads(line)
+        except ValueError as exc:
+            raise WireError(f"undecodable wire line: {exc}") from exc
+        if not isinstance(message, dict):
+            raise WireError(f"wire line is not an object: {message!r}")
+        messages.append(message)
+    if len(buffer) > MAX_LINE_BYTES:
+        raise WireError("wire line exceeds the frame size limit")
+    return messages, buffer
+
+
+def recv_message(sock: socket.socket, buffer: bytes) -> tuple[dict | None, bytes]:
+    """Blocking read of the next message on ``sock`` (``None`` on EOF).
+
+    ``buffer`` carries bytes left over from the previous call; the
+    caller must thread the returned remainder back in.
+    """
+    while True:
+        messages, buffer = split_lines(buffer)
+        if messages:
+            # At most one complete message is consumed per call; push any
+            # extra back onto the buffer in wire order.
+            extra = b"".join(
+                json.dumps(m, sort_keys=True).encode("utf-8") + b"\n"
+                for m in messages[1:]
+            )
+            return messages[0], extra + buffer
+        chunk = sock.recv(65536)
+        if not chunk:
+            return None, buffer
+        buffer += chunk
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (IPv4/hostname form)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"worker address must look like HOST:PORT, got {address!r}")
+    return host, int(port)

@@ -18,6 +18,12 @@ Fault kinds:
   parent;
 - ``"hang"`` — the cell sleeps ``hang_s`` wall-clock seconds before
   failing, tripping the runner's per-cell timeout;
+- ``"partition"`` — a simulated *network* partition: on a TCP fleet
+  worker the connection to the runner is severed while the worker
+  process stays alive and serving (the runner sees a lost worker and
+  retries the cell elsewhere); executed in-process or on a pool worker
+  — where there is no network to cut — it raises
+  :class:`InjectedPartitionError` like an ordinary cell failure;
 - ``"corrupt"`` — the cell itself succeeds, but its freshly written
   :class:`~.cache.ResultCache` entry is overwritten with garbage,
   exercising the checksum/quarantine path on the next run.
@@ -39,7 +45,7 @@ from ..errors import ReproError
 #: Exit code used by injected worker crashes (visible in pool diagnostics).
 CRASH_EXIT_CODE = 86
 
-FAULT_KINDS = ("error", "crash", "hang", "corrupt")
+FAULT_KINDS = ("error", "crash", "hang", "partition", "corrupt")
 
 
 class InjectedFaultError(ReproError):
@@ -49,6 +55,12 @@ class InjectedFaultError(ReproError):
 class InjectedCrashError(InjectedFaultError):
     """In-process stand-in for a worker crash: raised instead of
     ``os._exit`` when a crash fault fires outside a pool worker."""
+
+
+class InjectedPartitionError(InjectedFaultError):
+    """A simulated network partition.  A TCP fleet worker catches this
+    and severs its connection without replying (process stays alive);
+    everywhere else it surfaces as an ordinary injected cell failure."""
 
 
 @dataclass(frozen=True)
@@ -97,6 +109,7 @@ class FaultPlan:
         crashes: int = 1,
         errors: int = 1,
         hangs: int = 0,
+        partitions: int = 0,
         corruptions: int = 0,
         attempts: tuple[int, ...] | None = (1,),
         hang_s: float = 30.0,
@@ -107,7 +120,7 @@ class FaultPlan:
         via ``random.Random(seed)``, so the same (seed, shape) always
         injects into the same cell indices — in CI, in tests, anywhere.
         """
-        wanted = crashes + errors + hangs + corruptions
+        wanted = crashes + errors + hangs + partitions + corruptions
         if wanted > n_cells:
             raise ValueError(
                 f"cannot place {wanted} faults in a {n_cells}-cell sweep"
@@ -116,7 +129,8 @@ class FaultPlan:
         targets = rng.sample(range(n_cells), wanted)
         faults: list[Fault] = []
         for kind, count in (("crash", crashes), ("error", errors),
-                            ("hang", hangs), ("corrupt", corruptions)):
+                            ("hang", hangs), ("partition", partitions),
+                            ("corrupt", corruptions)):
             for _ in range(count):
                 faults.append(Fault(kind=kind, cell=targets.pop(0),
                                     attempts=attempts, hang_s=hang_s))
@@ -201,6 +215,10 @@ def trip(spec: tuple, in_worker: bool) -> None:
     if kind == "hang":
         time.sleep(spec[1])
         raise InjectedFaultError(f"injected hang elapsed after {spec[1]}s")
+    if kind == "partition":
+        raise InjectedPartitionError(
+            f"injected network partition (cell {spec[1]!r}, attempt {spec[2]})"
+        )
     raise ValueError(f"unknown fault spec {spec!r}")
 
 

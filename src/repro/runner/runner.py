@@ -1,5 +1,5 @@
-"""Process-pool sweep execution with deterministic seeding, caching, and
-fault tolerance.
+"""Backend-pluggable sweep execution with deterministic seeding, caching,
+and fault tolerance.
 
 :class:`SweepRunner` takes a list of independent :class:`~.job.Job` cells
 and executes them
@@ -7,18 +7,24 @@ and executes them
 - **deterministically**: every cell's seed is derived from the runner's
   root seed and the cell's key (:func:`~.seeding.derive_seed`), so the
   result set is a pure function of (grid, root seed) — bit-identical
-  whether cells run serially, across 2 workers, or across 32;
-- **in parallel**: cells fan out over a ``ProcessPoolExecutor`` as
-  individual futures, with results aggregated back in input order;
+  whether cells run serially, across a local process pool, or sharded
+  over a TCP fleet of worker machines;
+- **on a pluggable backend**: the runner owns sweep *policy* (seeds,
+  cache, retry/backoff, timeouts, journal); the *mechanics* of running
+  cells live behind the :class:`~.backends.ExecutorBackend` interface —
+  ``serial`` (in-process), ``process`` (local pool), or ``tcp``
+  (multi-host fleet; ``python -m repro worker serve`` on each host);
 - **incrementally**: with a :class:`~.cache.ResultCache` attached, cells
   whose (params, seed, code fingerprint) already have an entry are served
   from disk and only changed cells recompute;
 - **fault-tolerantly**: a cell that raises, exceeds its per-attempt
-  wall-clock timeout, or takes its worker process down is retried with
-  exponential backoff on a fresh worker (the pool is rebuilt after a
-  crash or an abandoned hung worker), with its *final* attempt run
-  in-process so pool-level flakiness can never consume a cell's last
-  chance.  Cells that exhaust their attempts become structured
+  wall-clock timeout, or takes its worker down (a crashed pool process,
+  a lost fleet connection) is retried with exponential backoff on a
+  fresh worker, with its *final* attempt run in-process so no backend
+  flakiness can consume a cell's last chance.  A backend that becomes
+  unusable altogether (no pool, every fleet worker gone, unpicklable
+  payloads) degrades the sweep to the in-process serial executor rather
+  than failing it.  Cells that exhaust their attempts become structured
   :class:`~.job.JobResult` error records — under the ``strict`` failure
   policy the sweep then raises an aggregated
   :class:`~repro.errors.SweepError`; under ``degrade`` it returns the
@@ -28,38 +34,54 @@ and executes them
   an append-only manifest (:class:`~.checkpoint.SweepJournal`) flushed
   per cell, so an interrupted, killed, or strict-aborted sweep resumes
   recomputing only unfinished cells.  ``KeyboardInterrupt`` shuts the
-  pool down (``cancel_futures=True``) and flushes the journal before
-  propagating;
+  backend down and flushes the journal before propagating;
 - **verifiably-on-purpose**: a seed-deterministic
   :class:`~.faults.FaultPlan` can inject worker crashes, cell
-  exceptions, hangs, and cache corruption at chosen cells, so every one
-  of the recovery paths above is exercisable in tests and CI.
+  exceptions, hangs, network partitions, and cache corruption at chosen
+  cells, so every one of the recovery paths above is exercisable in
+  tests and CI.
 """
 
 from __future__ import annotations
 
 import math
 import os
-import pickle
 import sys
 import time
 import warnings
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
-from concurrent.futures import wait as futures_wait
-from concurrent.futures.process import BrokenProcessPool
+from itertools import count
 from typing import Any, Callable, Sequence
 
 from ..errors import SweepError
+from .backends import (
+    ERROR,
+    LOST,
+    OK,
+    REJECTED,
+    REQUEUED,
+    BackendUnavailableError,
+    CellTask,
+    ExecutorBackend,
+    TransientSubmitError,
+    WorkerHealth,
+    make_backend,
+    normalize_addresses,
+    run_task,
+)
 from .cache import ResultCache, code_fingerprint
 from .checkpoint import SweepJournal, sweep_id
-from .faults import FaultInjector, FaultPlan, trip
-from .job import Job, JobResult, resolve_callable, run_job
+from .faults import FaultInjector, FaultPlan
+from .job import Job, JobResult, resolve_callable
 from .policy import STRICT, RetryPolicy, parse_failure_policy
 from .seeding import derive_seed
 
 #: Environment knob mirrored by the CLI/pytest ``--jobs`` options.
 JOBS_ENV = "REPRO_JOBS"
+#: Environment knobs mirrored by the CLI/pytest ``--backend``/``--workers``
+#: options: backend name and the TCP fleet's HOST:PORT address list.
+BACKEND_ENV = "REPRO_BACKEND"
+WORKERS_ENV = "REPRO_WORKERS"
 
 _warned_negative_jobs = False
 
@@ -68,7 +90,7 @@ def default_jobs() -> int:
     """Worker count from ``REPRO_JOBS`` (serial when unset or invalid).
 
     A negative value clamps to serial (with a one-time warning) instead
-    of flowing into ``ProcessPoolExecutor(max_workers=<0)``.
+    of flowing into a backend's ``max_workers=<0``.
     """
     global _warned_negative_jobs
     raw = os.environ.get(JOBS_ENV, "")
@@ -87,29 +109,14 @@ def default_jobs() -> int:
     return jobs if jobs != 0 else (os.cpu_count() or 1)
 
 
-def _init_worker(path: list[str]) -> None:
-    """Give spawned workers the parent's import path (bench modules live
-    outside ``site-packages``); fork workers inherit it anyway."""
-    for entry in reversed(path):
-        if entry not in sys.path:
-            sys.path.insert(0, entry)
+def default_backend() -> str | None:
+    """Backend name from ``REPRO_BACKEND`` (``None`` = pick by ``jobs``)."""
+    return os.environ.get(BACKEND_ENV, "").strip().lower() or None
 
 
-def _execute_cell(item: tuple[Job, int | None, tuple | None, bool]) -> tuple[Any, float]:
-    """Run one cell attempt (worker and in-process path); the optional
-    fault spec trips *before* the cell body, crashing/raising/hanging as
-    planned."""
-    job, seed, fault_spec, in_worker = item
-    t0 = time.perf_counter()
-    if fault_spec is not None:
-        trip(fault_spec, in_worker)
-    value = run_job(job, seed)
-    return value, time.perf_counter() - t0
-
-
-#: Exception types that mean "this payload/result cannot cross the process
-#: boundary" — the pool is useless for the sweep, not just for one attempt.
-_PICKLE_ERRORS = (pickle.PicklingError, AttributeError, TypeError)
+def default_workers() -> tuple[str, ...]:
+    """TCP fleet addresses from ``REPRO_WORKERS`` (comma-separated)."""
+    return normalize_addresses(os.environ.get(WORKERS_ENV, ""))
 
 
 class SweepRunner:
@@ -119,6 +126,13 @@ class SweepRunner:
     ``None`` = read ``REPRO_JOBS``); ``root_seed`` anchors per-cell seed
     derivation; ``cache`` is a :class:`ResultCache`, a directory path, or
     ``None`` to disable caching.
+
+    ``backend`` picks how cells execute: ``"serial"``, ``"process"``,
+    ``"tcp"`` (or ``"tcp://host:port,..."``), a ready
+    :class:`~.backends.ExecutorBackend` instance, or ``None`` to read
+    ``REPRO_BACKEND`` and fall back to process-pool-when-parallel.
+    ``workers`` lists the TCP fleet's ``HOST:PORT`` addresses (string or
+    sequence; default ``REPRO_WORKERS``).
 
     Fault-tolerance knobs: ``policy`` is the sweep-level failure policy
     (``"strict"`` or ``"degrade"``); ``retry`` a :class:`RetryPolicy`
@@ -139,6 +153,8 @@ class SweepRunner:
         timeout_s: float | None = None,
         checkpoint: str | os.PathLike | None = None,
         fault_plan: FaultPlan | None = None,
+        backend: str | ExecutorBackend | None = None,
+        workers: str | Sequence[str] | None = None,
     ) -> None:
         if jobs is None:
             jobs = default_jobs()
@@ -160,6 +176,8 @@ class SweepRunner:
         self.retry = retry
         self.checkpoint = checkpoint
         self.fault_plan = fault_plan
+        self.backend = backend
+        self.workers = normalize_addresses(workers) or None
         #: Execution summary of the most recent :meth:`run`.
         self.last_stats: dict[str, Any] = {}
         #: Failure manifest of the most recent :meth:`run` (``ok=False``
@@ -168,6 +186,9 @@ class SweepRunner:
         #: The injector used by the most recent :meth:`run` (``None``
         #: without a fault plan); ``last_injector.tripped`` logs what fired.
         self.last_injector: FaultInjector | None = None
+        #: Per-worker health reports from the most recent :meth:`run`'s
+        #: backend (empty for a pure cache/journal replay).
+        self.last_worker_health: list[WorkerHealth] = []
 
     # -- seed/cache bookkeeping ---------------------------------------------------
 
@@ -193,18 +214,38 @@ class SweepRunner:
         assert self.cache is not None
         return self.cache.key_for(job.fn, job.params, seed, fingerprint)
 
+    # -- backend resolution -------------------------------------------------------
+
+    def _resolve_backend(self, pending: int) -> ExecutorBackend:
+        """The backend for this run (never ``None``; may raise
+        :class:`BackendUnavailableError` from its ``start``)."""
+        spec = self.backend
+        if spec is None:
+            spec = default_backend()
+        if isinstance(spec, ExecutorBackend):
+            return spec
+        jobs = min(self.jobs, pending) if pending else 1
+        if spec is None:
+            spec = "process" if jobs > 1 else "serial"
+        workers = self.workers or default_workers()
+        return make_backend(
+            spec, jobs=jobs, workers=workers,
+            max_rebuilds=2 * pending + 4,
+        )
+
     # -- execution ---------------------------------------------------------------
 
     def run(self, cells: Sequence[Job], resume: bool = True) -> list[JobResult]:
         """Execute ``cells``; results come back in input order.
 
         The output is bit-identical to running the cells in a plain
-        serial loop: parallelism, retries, worker scheduling, cache hits,
-        and journal resumption are all invisible in the result set.
-        Failed cells appear as ``ok=False`` records under ``degrade``;
-        under ``strict`` the sweep raises :class:`SweepError` once every
-        cell has had its attempts (completed cells are still journalled
-        first, so a strict abort is resumable).
+        serial loop: the backend choice, parallelism, retries, worker
+        scheduling, cache hits, and journal resumption are all invisible
+        in the result set.  Failed cells appear as ``ok=False`` records
+        under ``degrade``; under ``strict`` the sweep raises
+        :class:`SweepError` once every cell has had its attempts
+        (completed cells are still journalled first, so a strict abort
+        is resumable).
         """
         cells = list(cells)
         keys = [job.key for job in cells]
@@ -217,6 +258,7 @@ class SweepRunner:
         failures: list[JobResult] = []
         injector = FaultInjector(self.fault_plan) if self.fault_plan else None
         self.last_injector = injector
+        self.last_worker_health = []
 
         # Checkpoint journal: replay completed cells of this exact sweep.
         journal: SweepJournal | None = None
@@ -267,14 +309,15 @@ class SweepRunner:
                 if injector is not None and injector.corruption_for(i, cells[i].key):
                     injector.corrupt_entry(self.cache, cache_keys[i])
 
-        workers = min(self.jobs, len(pending))
-        mode = "serial" if workers <= 1 else "parallel"
-        dispatch_stats = {"retries": 0, "timeouts": 0, "pool_breaks": 0}
+        dispatch_stats: dict[str, Any] = {
+            "retries": 0, "timeouts": 0, "pool_breaks": 0, "workers_lost": 0,
+            "backend": "serial", "workers": 1,
+        }
+        mode = "serial"
         if pending:
             try:
                 mode = self._dispatch(
-                    cells, seeds, pending, workers, finish, injector,
-                    dispatch_stats,
+                    cells, seeds, pending, finish, injector, dispatch_stats,
                 )
             except KeyboardInterrupt:
                 # Completed cells are already journalled (flushed per
@@ -289,7 +332,6 @@ class SweepRunner:
             "executed": len(pending),
             "cache_hits": cache_hits,
             "journal_hits": journal_hits,
-            "workers": workers if mode == "parallel" else 1,
             "mode": mode,
             "failures": len(failures),
             "failed": [r.key for r in failures],
@@ -317,28 +359,44 @@ class SweepRunner:
         cells: list[Job],
         seeds: list[int | None],
         pending: list[int],
-        workers: int,
         finish: Callable[[int, JobResult], None],
         injector: FaultInjector | None,
-        stats: dict[str, int],
+        stats: dict[str, Any],
     ) -> str:
-        """Execute ``pending`` cell indices with retries/timeouts,
-        reporting each completion through ``finish``; returns the mode
-        string (``serial``, ``parallel``, or ``serial-fallback``)."""
+        """Execute ``pending`` cell indices on the resolved backend with
+        retries/timeouts, reporting each completion through ``finish``;
+        returns the mode string (``serial``, ``parallel``, or
+        ``serial-fallback``)."""
         policy = self.retry
         max_att = policy.max_attempts
         timeout_s = policy.timeout_s
         attempts: dict[int, int] = dict.fromkeys(pending, 0)
         ready_at: dict[int, float] = dict.fromkeys(pending, 0.0)
         queue: deque[int] = deque(pending)
-        serial_only = workers <= 1
-        mode = "serial" if serial_only else "parallel"
-        pool: ProcessPoolExecutor | None = None
-        in_flight: dict[Any, tuple[int, float]] = {}
-        # Runaway guard: legitimate fault recovery rebuilds the pool a
-        # bounded number of times; anything beyond this is a systemically
-        # broken pool and the serial loop is the only safe executor.
-        max_pool_breaks = 2 * len(pending) + 4
+        task_ids = count()
+        in_flight: dict[int, tuple[int, float]] = {}  # task_id -> (idx, deadline)
+
+        backend: ExecutorBackend | None = None
+        serial_only = False
+        mode = "serial"
+        try:
+            backend = self._resolve_backend(len(pending))
+            backend.start()
+        except BackendUnavailableError as exc:
+            warnings.warn(
+                f"sweep backend unavailable ({exc}); running serially",
+                RuntimeWarning, stacklevel=3,
+            )
+            if backend is not None:
+                backend.shutdown(cancel=True)
+            backend = None
+            serial_only = True
+            mode = "serial-fallback"
+        else:
+            mode = "serial" if backend.name == "serial" else "parallel"
+            stats["backend"] = backend.name
+            stats["workers"] = max(1, backend.capacity)
+        serial_backend = backend is not None and not backend.preemptible
 
         def spec_for(idx: int, attempt: int) -> tuple | None:
             if injector is None:
@@ -359,10 +417,12 @@ class SweepRunner:
 
         def run_inproc(idx: int) -> None:
             attempts[idx] += 1
+            task = CellTask(
+                task_id=-1, index=idx, job=cells[idx], seed=seeds[idx],
+                fault_spec=spec_for(idx, attempts[idx]),
+            )
             try:
-                value, duration = _execute_cell(
-                    (cells[idx], seeds[idx], spec_for(idx, attempts[idx]), False)
-                )
+                value, duration = run_task(task, in_worker=False)
             except Exception as exc:
                 record_failure(idx, type(exc).__name__, str(exc) or repr(exc))
                 return
@@ -379,59 +439,18 @@ class SweepRunner:
                 queue.append(idx)
             return None
 
-        def retire_pool(cancel: bool) -> None:
-            nonlocal pool
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=cancel)
-                pool = None
-
-        def drop_in_flight_uncharged() -> None:
-            """Re-queue every in-flight cell without charging an attempt
-            (collateral damage from someone else's crash/timeout)."""
-            for _fut, (idx, _dl) in in_flight.items():
-                attempts[idx] -= 1
-                queue.append(idx)
-            in_flight.clear()
-
-        def break_pool() -> None:
-            nonlocal serial_only, mode
-            stats["pool_breaks"] += 1
-            drop_in_flight_uncharged()
-            retire_pool(cancel=True)
-            if stats["pool_breaks"] > max_pool_breaks:
-                serial_only = True
-                mode = "serial-fallback"
-
         def go_serial() -> None:
+            """Fall back to the in-process executor for the rest of the
+            sweep; in-flight cells re-dispatch uncharged."""
             nonlocal serial_only, mode
             serial_only = True
             mode = "serial-fallback"
-            drop_in_flight_uncharged()
-            retire_pool(cancel=True)
-
-        def ensure_pool() -> None:
-            nonlocal pool
-            if pool is not None or serial_only:
-                return
-            try:
-                import multiprocessing
-
-                # fork (where available) shares the parent's imported
-                # modules and sys.path with zero per-worker warmup;
-                # elsewhere the initializer replays the import path for
-                # spawned workers.
-                methods = multiprocessing.get_all_start_methods()
-                context = multiprocessing.get_context(
-                    "fork" if "fork" in methods else None
-                )
-                pool = ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=context,
-                    initializer=_init_worker,
-                    initargs=(list(sys.path),),
-                )
-            except (OSError, ImportError, ValueError, RuntimeError):
-                go_serial()
+            for _tid, (idx, _dl) in in_flight.items():
+                attempts[idx] -= 1
+                queue.append(idx)
+            in_flight.clear()
+            if backend is not None:
+                backend.shutdown(cancel=True)
 
         try:
             while queue or in_flight:
@@ -443,36 +462,49 @@ class SweepRunner:
                     run_inproc(idx)
                     continue
 
-                # Dispatch every ready cell up to the worker limit.
+                # A backend with no workers left (a collapsed TCP fleet)
+                # cannot make progress: finish the sweep in-process.
+                if backend.capacity < 1:
+                    go_serial()
+                    continue
+
+                # Dispatch every ready cell up to the backend's capacity.
                 now = time.monotonic()
-                while queue and len(in_flight) < workers and not serial_only:
+                while queue and len(in_flight) < backend.capacity:
                     idx = next_ready(now)
                     if idx is None:
                         break
                     if (policy.serial_final_attempt and max_att > 1
+                            and not serial_backend
                             and attempts[idx] == max_att - 1):
-                        # Final attempt: in-process, immune to pool flakiness.
+                        # Final attempt: in-process, immune to backend
+                        # flakiness.
                         run_inproc(idx)
                         now = time.monotonic()
                         continue
-                    ensure_pool()
-                    if serial_only:
-                        queue.appendleft(idx)
-                        break
                     attempts[idx] += 1
-                    payload = (cells[idx], seeds[idx],
-                               spec_for(idx, attempts[idx]), True)
+                    task = CellTask(
+                        task_id=next(task_ids), index=idx, job=cells[idx],
+                        seed=seeds[idx],
+                        fault_spec=spec_for(idx, attempts[idx]),
+                    )
                     try:
-                        fut = pool.submit(_execute_cell, payload)
-                    except (BrokenProcessPool, RuntimeError):
+                        backend.submit(task)
+                    except TransientSubmitError:
                         attempts[idx] -= 1
                         queue.appendleft(idx)
-                        break_pool()
-                        continue
+                        break
+                    except BackendUnavailableError:
+                        attempts[idx] -= 1
+                        queue.appendleft(idx)
+                        go_serial()
+                        break
                     deadline = now + timeout_s if timeout_s else math.inf
-                    in_flight[fut] = (idx, deadline)
-                if serial_only or not in_flight:
-                    if not serial_only and queue:
+                    in_flight[task.task_id] = (idx, deadline)
+                if serial_only:
+                    continue
+                if not in_flight:
+                    if queue:
                         # Nothing in flight, nothing ready: sleep out the
                         # shortest backoff.
                         soonest = min(ready_at[i] for i in queue)
@@ -484,77 +516,81 @@ class SweepRunner:
                 # Wake on the first completion, the nearest deadline, or
                 # the nearest retry-ready time (to keep workers fed).
                 wake = min(dl for (_i, dl) in in_flight.values())
-                if queue and len(in_flight) < workers:
+                if queue and len(in_flight) < backend.capacity:
                     wake = min(wake, min(ready_at[i] for i in queue))
                 wait_t = (None if wake == math.inf
                           else max(0.0, wake - time.monotonic()))
-                done, _ = futures_wait(
-                    set(in_flight), timeout=wait_t, return_when=FIRST_COMPLETED
-                )
+                outcomes = backend.poll(wait_t)
 
-                broken = False
-                for fut in done:
-                    idx, _dl = in_flight.pop(fut)
-                    try:
-                        value, duration = fut.result()
-                    except BrokenProcessPool:
-                        # The worker running this cell (or a sibling)
-                        # died; charge the attempt and re-dispatch on a
-                        # fresh pool.
-                        broken = True
+                rejected = False
+                for outcome in outcomes:
+                    entry = in_flight.pop(outcome.task_id, None)
+                    if entry is None:
+                        continue  # already settled (e.g. timed out)
+                    idx, _dl = entry
+                    if outcome.kind == OK:
+                        finish(idx, JobResult(
+                            key=cells[idx].key, value=outcome.value,
+                            seed=seeds[idx], duration_s=outcome.duration_s,
+                            attempts=attempts[idx],
+                        ))
+                    elif outcome.kind == ERROR:
                         record_failure(
-                            idx, "WorkerCrash",
-                            "worker process died (BrokenProcessPool)",
+                            idx, outcome.error_type or "WorkerError",
+                            outcome.error or "cell failed on worker",
                         )
-                    except _PICKLE_ERRORS as exc:
-                        # The payload or result cannot cross the process
-                        # boundary at all: the pool is useless for this
-                        # sweep.  Uncharge and finish in-process, where
-                        # no pickling happens (and genuine cell errors of
-                        # these types still surface as failures there).
+                    elif outcome.kind == LOST:
+                        # The worker died under this cell: charge the
+                        # attempt and re-dispatch on surviving capacity.
+                        record_failure(
+                            idx, outcome.error_type or "WorkerCrash",
+                            outcome.error or "worker lost mid-cell",
+                        )
+                    elif outcome.kind == REQUEUED:
+                        # Collateral damage from a sibling's crash or an
+                        # abandonment: re-offer without charging.
+                        attempts[idx] -= 1
+                        queue.append(idx)
+                    elif outcome.kind == REJECTED:
+                        # The payload/result cannot cross this backend's
+                        # boundary at all.  Uncharge and finish
+                        # in-process, where no serialisation happens (and
+                        # genuine cell errors of these types still
+                        # surface as failures there).
                         attempts[idx] -= 1
                         queue.appendleft(idx)
-                        go_serial()
-                        break
-                    except Exception as exc:
-                        record_failure(
-                            idx, type(exc).__name__, str(exc) or repr(exc)
-                        )
-                    else:
-                        finish(idx, JobResult(
-                            key=cells[idx].key, value=value, seed=seeds[idx],
-                            duration_s=duration, attempts=attempts[idx],
-                        ))
-                if serial_only:
-                    continue
-                if broken:
-                    break_pool()
+                        rejected = True
+                if rejected:
+                    go_serial()
                     continue
 
-                # Per-cell wall-clock timeouts: a worker stuck inside a
-                # cell cannot be preempted individually, so the expired
-                # cell is charged + failed and the whole pool is retired
+                # Per-cell wall-clock timeouts: charge + fail the expired
+                # cells, then let the backend reclaim what it can
                 # (innocent in-flight cells re-dispatch uncharged).
-                if timeout_s:
+                if timeout_s and backend.preemptible:
                     now = time.monotonic()
                     expired = [
-                        fut for fut, (_i, dl) in in_flight.items() if dl <= now
+                        tid for tid, (_i, dl) in in_flight.items() if dl <= now
                     ]
                     if expired:
                         stats["timeouts"] += len(expired)
-                        for fut in expired:
-                            idx, _dl = in_flight.pop(fut)
+                        for tid in expired:
+                            idx, _dl = in_flight.pop(tid)
                             record_failure(
                                 idx, "CellTimeout",
                                 f"cell exceeded {timeout_s}s wall-clock "
                                 f"budget (attempt {attempts[idx]})",
                             )
-                        drop_in_flight_uncharged()
-                        retire_pool(cancel=True)
+                        backend.abandon(expired)
             # Normal completion: a clean synchronous shutdown.
-            retire_pool(cancel=False)
+            if backend is not None and not serial_only:
+                backend.shutdown(cancel=False)
         finally:
             # KeyboardInterrupt / unexpected error: abandon workers and
-            # cancel anything not yet started.
-            retire_pool(cancel=True)
+            # cancel anything not yet started; merge backend counters.
+            if backend is not None:
+                backend.shutdown(cancel=True)
+                self.last_worker_health = backend.worker_health()
+                for key, value in backend.stats().items():
+                    stats[key] = value
         return mode

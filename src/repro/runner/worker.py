@@ -1,0 +1,244 @@
+"""Fleet worker: the server side of the TCP sweep backend.
+
+``python -m repro worker serve --listen HOST:PORT`` turns any machine
+with the ``repro`` package into sweep capacity: the runner's
+:class:`~.backends.tcp.TcpFleetBackend` connects, handshakes, and
+streams ``run`` messages (see :mod:`.backends.wire` for the protocol).
+Each connection executes one cell at a time in a dedicated thread, so a
+single worker process serves several runners (or several connections
+from one runner) concurrently.
+
+Fault-injection semantics on a worker match a pool worker's:
+``crash`` faults hard-exit the process (the runner sees the connection
+drop — a lost worker), ``hang`` faults sleep past the runner's cell
+deadline, and ``partition`` faults sever this connection while leaving
+the process alive and serving (a network partition, not a death).
+
+Helpers for tests/benches:
+
+- :func:`start_thread_worker` runs a worker inside the current process
+  (real loopback sockets, no subprocess) — crash faults raise instead of
+  exiting, exactly like the runner's serial path;
+- :func:`spawn_worker_process` launches a real worker subprocess and
+  returns its (process, address) once it announces readiness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Callable
+
+from .backends.wire import (
+    PROTOCOL_VERSION,
+    encode_value,
+    decode_value,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from .faults import InjectedPartitionError, trip
+from .job import run_job
+
+
+def parse_listen(spec: str) -> tuple[str, int]:
+    """``"HOST:PORT"`` (or bare ``"PORT"``) → ``(host, port)``;
+    port 0 asks the OS for a free port."""
+    if ":" not in spec:
+        return "127.0.0.1", int(spec)
+    return parse_address(spec)
+
+
+def _execute(message: dict, in_worker: bool) -> dict:
+    """Run one ``run`` message; returns the ``result`` reply.
+
+    Raises :class:`InjectedPartitionError` through to the caller — a
+    partition has no reply by definition.
+    """
+    task_id = message.get("task_id")
+    try:
+        job = decode_value(message["job"])
+        fault = message.get("fault")
+        t0 = time.perf_counter()
+        if fault:
+            trip(tuple(fault), in_worker)
+        value = run_job(job, message.get("seed"))
+        duration = time.perf_counter() - t0
+    except InjectedPartitionError:
+        raise
+    except Exception as exc:
+        return {
+            "op": "result", "task_id": task_id, "ok": False,
+            "error_type": type(exc).__name__,
+            "error": str(exc) or repr(exc),
+        }
+    try:
+        payload = encode_value(value)
+    except Exception as exc:
+        # The value cannot cross the wire at all: tell the runner to
+        # stop using this backend for the sweep (pool pickling parity).
+        return {
+            "op": "result", "task_id": task_id, "ok": False, "reject": True,
+            "error_type": type(exc).__name__,
+            "error": f"result not serializable: {exc}",
+        }
+    return {
+        "op": "result", "task_id": task_id, "ok": True,
+        "value": payload, "duration_s": duration,
+    }
+
+
+def _handle_connection(conn: socket.socket, in_worker: bool) -> None:
+    buffer = b""
+    try:
+        while True:
+            message, buffer = recv_message(conn, buffer)
+            if message is None:
+                return
+            op = message.get("op")
+            if op == "hello":
+                for entry in reversed(message.get("path") or ()):
+                    if isinstance(entry, str) and entry not in sys.path:
+                        sys.path.insert(0, entry)
+                send_message(conn, {
+                    "op": "welcome", "version": PROTOCOL_VERSION,
+                    "pid": os.getpid(), "host": socket.gethostname(),
+                })
+            elif op == "ping":
+                send_message(conn, {"op": "pong", "token": message.get("token")})
+            elif op == "bye":
+                return
+            elif op == "run":
+                try:
+                    reply = _execute(message, in_worker)
+                except InjectedPartitionError:
+                    return  # sever the link, stay alive: a partition
+                send_message(conn, reply)
+            else:
+                return  # protocol violation: drop the connection
+    except (OSError, ValueError):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def serve(
+    listen: str = "127.0.0.1:0",
+    *,
+    in_worker: bool = True,
+    announce: bool = True,
+    ready: Callable[[tuple[str, int]], None] | None = None,
+    stop: threading.Event | None = None,
+) -> None:
+    """Serve sweep cells until interrupted (or ``stop`` is set).
+
+    With ``announce`` (the CLI default) the bound address is printed as a
+    ``{"op": "listening", ...}`` JSON line on stdout, so callers that
+    bind port 0 can discover the real port and wait for readiness.
+    """
+    host, port = parse_listen(listen)
+    server = socket.create_server((host, port))
+    server.settimeout(0.2)
+    bound = server.getsockname()
+    if announce:
+        print(json.dumps({
+            "op": "listening", "host": bound[0], "port": bound[1],
+            "pid": os.getpid(),
+        }, sort_keys=True), flush=True)
+    if ready is not None:
+        ready((bound[0], bound[1]))
+    try:
+        while stop is None or not stop.is_set():
+            try:
+                conn, _peer = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=_handle_connection, args=(conn, in_worker), daemon=True,
+            ).start()
+    finally:
+        server.close()
+
+
+# -- helpers for tests and benches ------------------------------------------------
+
+
+def start_thread_worker(host: str = "127.0.0.1") -> tuple[str, Callable[[], None]]:
+    """An in-process worker on a loopback socket; returns its
+    ``"host:port"`` address and a stop callable.
+
+    Runs with ``in_worker=False`` so injected crash faults raise instead
+    of hard-exiting the caller's interpreter.
+    """
+    stop = threading.Event()
+    bound: list[tuple[str, int]] = []
+    ready = threading.Event()
+
+    def note(address: tuple[str, int]) -> None:
+        bound.append(address)
+        ready.set()
+
+    thread = threading.Thread(
+        target=serve,
+        kwargs=dict(listen=f"{host}:0", in_worker=False, announce=False,
+                    ready=note, stop=stop),
+        daemon=True,
+    )
+    thread.start()
+    if not ready.wait(timeout=10.0):
+        stop.set()
+        raise OSError("thread worker did not come up within 10s")
+    address = f"{bound[0][0]}:{bound[0][1]}"
+    return address, stop.set
+
+
+def spawn_worker_process(
+    listen: str = "127.0.0.1:0", timeout_s: float = 30.0,
+):
+    """Launch ``python -m repro worker serve`` and wait for readiness.
+
+    Returns ``(subprocess.Popen, "host:port")``.  The child inherits the
+    current environment plus the ``repro`` package's source directory on
+    ``PYTHONPATH`` (the runner's hello also replays its full import path
+    to the worker, so bench/test modules resolve there too).
+    """
+    import subprocess
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "serve", "--listen", listen],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    deadline = time.monotonic() + timeout_s
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line:
+            break
+        if proc.poll() is not None:
+            raise OSError(
+                f"fleet worker exited with {proc.returncode} before announcing"
+            )
+    try:
+        note = json.loads(line)
+        assert note["op"] == "listening"
+        address = f"{note['host']}:{note['port']}"
+    except (ValueError, KeyError, AssertionError) as exc:
+        proc.terminate()
+        raise OSError(f"fleet worker announce line unreadable: {line!r}") from exc
+    return proc, address

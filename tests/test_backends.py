@@ -1,0 +1,231 @@
+"""Backend conformance: serial, process-pool, and TCP fleet are
+interchangeable by construction.
+
+The same 12-cell sweep runs on every backend and must yield bit-identical
+:class:`JobResult` lists — values, seeds, ordering, and failure records —
+and, under a checkpoint, byte-for-byte identical journal *content*.
+Placement is irrelevant because per-cell seeds derive from
+``(root_seed, key)`` alone; these tests are the enforcement.
+
+The TCP rows run against real loopback sockets via in-process thread
+workers (:func:`start_thread_worker`), so the full wire protocol —
+handshake, pickled payloads, result framing, lost-worker detection — is
+exercised without subprocess spawn costs.  The subprocess worker path is
+covered by the fleet chaos bench (``benchmarks/bench_chaos_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.runner import (
+    Fault,
+    FaultPlan,
+    Job,
+    SerialBackend,
+    SweepJournal,
+    SweepRunner,
+    TcpFleetBackend,
+    code_fingerprint,
+    make_backend,
+    start_thread_worker,
+    sweep_id,
+)
+
+ROOT_SEED = 11
+
+
+def conformance_cell(a: int, b: str, seed: int) -> tuple:
+    """Pure function of (params, seed): any placement, same bits."""
+    rng = random.Random(seed)
+    return (a, b, seed, rng.random(), tuple(rng.sample(range(100), 5)))
+
+
+def make_grid() -> list[Job]:
+    return [
+        Job.of(conformance_cell, key=f"grid/{a}/{b}", a=a, b=b)
+        for a in range(4)
+        for b in ("x", "y", "z")
+    ]
+
+
+@pytest.fixture
+def fleet():
+    """Two loopback thread workers; yields their HOST:PORT addresses."""
+    addr1, stop1 = start_thread_worker()
+    addr2, stop2 = start_thread_worker()
+    yield [addr1, addr2]
+    stop1()
+    stop2()
+
+
+def make_runner(backend: str, fleet_addrs, **kwargs) -> SweepRunner:
+    if backend == "tcp":
+        kwargs.setdefault("workers", fleet_addrs)
+        kwargs.setdefault("jobs", 2)
+    elif backend == "process":
+        kwargs.setdefault("jobs", 3)
+    else:
+        kwargs.setdefault("jobs", 1)
+    return SweepRunner(root_seed=ROOT_SEED, backend=backend, **kwargs)
+
+
+BACKENDS = ("serial", "process", "tcp")
+
+
+# -- bit-identical results across backends -----------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_matches_serial_reference(backend, fleet):
+    cells = make_grid()
+    reference = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="serial").run(cells)
+    runner = make_runner(backend, fleet)
+    results = runner.run(cells)
+    assert results == reference
+    # Bit-identical, not merely equal: compare the full value payloads.
+    assert [r.value for r in results] == [r.value for r in reference]
+    assert [r.seed for r in results] == [r.seed for r in reference]
+    assert runner.last_stats["backend"] == backend
+    assert runner.last_stats["cells"] == len(cells)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_matches_serial_under_faults(backend, fleet):
+    """A crash + a permanent error still converge to the same results."""
+    plan = FaultPlan.of(
+        Fault(kind="crash", cell="grid/0/x", attempts=(1,)),
+        Fault(kind="error", cell="grid/2/y", attempts=None),  # permanent
+    )
+    cells = make_grid()
+    ref_runner = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="serial",
+                             policy="degrade", fault_plan=plan)
+    reference = ref_runner.run(cells)
+    runner = make_runner(backend, fleet, policy="degrade", fault_plan=plan)
+    results = runner.run(cells)
+    assert results == reference
+    assert [r.key for r in runner.last_failures] == ["grid/2/y"]
+    assert runner.last_stats["retries"] >= 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_journal_content_identical(backend, fleet, tmp_path):
+    """The checkpoint journal records the same completed cells with the
+    same payloads regardless of backend (kept alive by a permanent
+    failure under ``degrade``)."""
+    plan = FaultPlan.of(Fault(kind="error", cell="grid/3/z", attempts=None))
+    cells = make_grid()
+    keys = [job.key for job in cells]
+    jid = sweep_id(ROOT_SEED, keys, code_fingerprint())
+
+    journals = {}
+    for name, path in ((backend, tmp_path / f"{backend}.journal"),
+                       ("serial", tmp_path / "reference.journal")):
+        runner = make_runner(name, fleet, policy="degrade", fault_plan=plan,
+                             checkpoint=path)
+        runner.run(cells)
+        journals[path] = SweepJournal(path).load(jid)
+
+    this, reference = journals.values()
+    assert set(this) == set(reference)
+    for key in reference:
+        assert this[key] == reference[key]
+        assert this[key].value == reference[key].value
+
+
+# -- fleet-specific behavior ---------------------------------------------------
+
+
+def test_tcp_partition_recovers_on_survivor(fleet):
+    """A partitioned worker drops its connection mid-cell; the runner
+    charges the attempt and finishes the cell on the surviving worker,
+    with results still bit-identical to serial."""
+    plan = FaultPlan.of(Fault(kind="partition", cell="grid/1/y", attempts=(1,)))
+    cells = make_grid()
+    reference = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="serial").run(cells)
+    runner = make_runner("tcp", fleet, policy="degrade", fault_plan=plan)
+    results = runner.run(cells)
+    assert results == reference
+    assert not runner.last_failures
+    assert runner.last_stats["workers_lost"] == 1
+    assert runner.last_stats["retries"] == 1
+    # Exactly one worker was lost; the other carried the sweep.
+    lost = [w for w in runner.last_worker_health if not w.alive and "lost" in w.detail]
+    assert len(lost) <= 1  # shutdown marks survivors dead with "shut down"
+
+
+def test_tcp_fleet_collapse_degrades_to_serial():
+    """Every worker unreachable → the sweep degrades to in-process
+    execution instead of failing."""
+    cells = make_grid()
+    reference = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="serial").run(cells)
+    # A port nothing listens on: connection refused for the whole fleet.
+    runner = SweepRunner(root_seed=ROOT_SEED, backend="tcp",
+                         workers=["127.0.0.1:9"],)
+    with pytest.warns(RuntimeWarning, match="backend unavailable"):
+        results = runner.run(cells)
+    assert results == reference
+    assert runner.last_stats["mode"] == "serial-fallback"
+
+
+def test_tcp_mid_sweep_total_loss_degrades_to_serial(fleet):
+    """Both workers partition away mid-sweep: capacity hits zero and the
+    runner finishes the remaining cells in-process."""
+    plan = FaultPlan.of(
+        Fault(kind="partition", cell="grid/0/y", attempts=None),
+        Fault(kind="partition", cell="grid/2/x", attempts=None),
+    )
+    cells = make_grid()
+    reference = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="serial").run(cells)
+    runner = make_runner("tcp", fleet, policy="degrade", fault_plan=plan,
+                         retry=None)
+    results = runner.run(cells)
+    # Partition faults fire on *every* attempt, but in-process they raise
+    # InjectedPartitionError (no network to cut), so under degrade the two
+    # targeted cells end as failures while every other cell survives.
+    survivors = {r.key: r for r in results if r.ok}
+    for ref in reference:
+        if ref.key in survivors:
+            assert survivors[ref.key] == ref
+    assert runner.last_stats["mode"] == "serial-fallback"
+    assert runner.last_stats["workers_lost"] == 2
+
+
+def test_worker_health_reporting(fleet):
+    runner = make_runner("tcp", fleet)
+    runner.run(make_grid())
+    health = runner.last_worker_health
+    assert len(health) == 2
+    assert {w.worker_id for w in health} == set(fleet)
+    assert sum(w.tasks_done for w in health) == 12
+    assert all(w.current_task is None for w in health)
+
+
+# -- construction / registry ---------------------------------------------------
+
+
+def test_make_backend_registry():
+    assert isinstance(make_backend("serial"), SerialBackend)
+    assert make_backend("process", jobs=2).capacity == 2
+    tcp = make_backend("tcp://127.0.0.1:1234,127.0.0.1:1235")
+    assert isinstance(tcp, TcpFleetBackend)
+    assert tcp.addresses == ("127.0.0.1:1234", "127.0.0.1:1235")
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        make_backend("hovercraft")
+    with pytest.raises(ConfigError):
+        make_backend("tcp")  # no addresses anywhere
+
+
+def test_runner_rejects_direct_pool_import():
+    """The acceptance criterion of the refactor: SweepRunner's module no
+    longer touches concurrent.futures — pool mechanics live only in the
+    process backend."""
+    import repro.runner.runner as runner_module
+
+    source = open(runner_module.__file__).read()
+    assert "ProcessPoolExecutor" not in source
+    assert "concurrent.futures" not in source

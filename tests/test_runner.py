@@ -13,6 +13,7 @@ import warnings
 
 import pytest
 
+import repro.runner.backends.process as process_backend
 import repro.runner.runner as runner_module
 from repro.runner import (
     Job,
@@ -251,7 +252,7 @@ class _ExplodingPool:
 
 
 def test_pool_failure_falls_back_to_serial(monkeypatch):
-    monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _ExplodingPool)
+    monkeypatch.setattr(process_backend, "ProcessPoolExecutor", _ExplodingPool)
     cells = make_grid()
     runner = SweepRunner(jobs=4, root_seed=3)
     results = runner.run(cells)
@@ -295,7 +296,7 @@ class _AlwaysBrokenPool:
 
 
 def test_persistent_broken_pool_degrades_to_serial(monkeypatch):
-    monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _AlwaysBrokenPool)
+    monkeypatch.setattr(process_backend, "ProcessPoolExecutor", _AlwaysBrokenPool)
     cells = make_grid()
     runner = SweepRunner(jobs=4, root_seed=3)
     results = runner.run(cells)
