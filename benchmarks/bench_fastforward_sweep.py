@@ -1,0 +1,291 @@
+"""Fast-forward engine benchmark: ``Machine.run_turbo`` vs ``Machine.run_fast``.
+
+Long-horizon sweeps spend almost all their time re-interpreting steady-state
+workload periods; the analytic fast-forward tier (:mod:`repro.sim.turbo`)
+skips whole periods at a time.  This bench measures simulated-cycles/sec on
+three regimes and proves, on every measured run, that the turbo engine is
+*bit-for-bit equivalent* to the fast path (identical :class:`RunResult`,
+final clock, PMU counters, cache/controller/device statistics, open rows,
+and bit flips on twin machines running the same workload):
+
+- **stream_resident**: a cache-resident stride-64 stream — the model
+  converges quickly and nearly every lap is skipped.  This is the headline
+  cell: the >= 10x gate applies here.
+- **pointer_chase_anvil**: pointer chasing under a fully armed ANVIL —
+  stage-1 timers carve decision-point islands into the skipping, the
+  regime long detection sweeps live in.
+- **hammer_flips**: the paper's CLFLUSH hammer loop with a low flip
+  threshold — DRAM activations and bit flips happen *inside* skipped laps
+  via disturbance replay, so equivalence includes flip sites and counts.
+  Few-op laps bound the win (disturbance replay is irreducible per
+  activation), so this cell is reported but not gated.
+
+The gate mirrors the sweep bench's conditional pattern: it is enforced
+only when the fast-forward engine actually engaged and skipped laps (and
+never under ``--smoke`` / ``--no-gate``); a disengaged run reports the
+reason instead of failing.
+
+Results are published under ``benchmarks/results/perf_fastforward.{txt,json}``
+and the machine-readable summary is also written to ``BENCH_fastforward.json``
+at the repository root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fastforward_sweep.py          # full
+    PYTHONPATH=src python benchmarks/bench_fastforward_sweep.py --smoke  # quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from repro.core import AnvilConfig
+from repro.core.anvil import AnvilModule
+from repro.pmu import Event
+from repro.presets import small_machine
+from repro.sim.kernels import accel_signature
+
+from _common import publish
+
+KB = 1024
+
+#: Required run_turbo/run_fast speedup on the headline (gated) cell,
+#: enforced only when the engine engaged and skipped laps.
+GATE_SPEEDUP = 10.0
+
+
+def build_machine(anvil: bool, threshold_min: int | None):
+    kwargs = {} if threshold_min is None else {"threshold_min": threshold_min}
+    machine = small_machine(**kwargs)
+    if anvil:
+        AnvilModule(
+            machine,
+            AnvilConfig(
+                llc_miss_threshold=3_300,
+                tc_ms=1.0,
+                ts_ms=1.0,
+                sampling_rate_hz=50_000,
+                assumed_flip_accesses=30_000,
+            ),
+        ).install()
+    return machine
+
+
+def make_stream():
+    from repro.workloads import StreamWorkload
+
+    return StreamWorkload(buffer_bytes=512 * KB, stride=64, seed=1)
+
+
+def make_chase():
+    from repro.workloads import PointerChaseWorkload
+
+    return PointerChaseWorkload(working_set_bytes=128 * KB, seed=3)
+
+
+def make_hammer():
+    from repro.workloads import HammerWorkload
+
+    return HammerWorkload(aggressors=2, think_cycles=120, seed=5)
+
+
+#: name -> (workload factory, anvil, threshold_min, full/smoke horizons,
+#:          gated, expect flips in full mode)
+CELLS = {
+    "stream_resident": (make_stream, False, None, 240_000_000, 20_000_000,
+                        True, False),
+    "pointer_chase_anvil": (make_chase, True, None, 60_000_000, 20_000_000,
+                            False, False),
+    "hammer_flips": (make_hammer, False, 20_000, 60_000_000, 10_000_000,
+                     False, True),
+}
+
+
+# -- equivalence probe --------------------------------------------------------
+
+
+def result_tuple(result):
+    return (
+        result.start_cycles, result.end_cycles, result.ops_executed,
+        result.loads, result.stores, result.clflushes, result.dram_accesses,
+        result.llc_misses, result.new_flips, result.overhead_cycles,
+        result.stopped_by,
+    )
+
+
+def state_snapshot(machine):
+    hierarchy = machine.memory.hierarchy
+    controller = machine.memory.controller
+    device = controller.device
+    sampler = machine.pmu.sampler
+    return {
+        "cycles": machine.cycles,
+        "overhead": machine.overhead_cycles,
+        "counters": {e.name: machine.pmu.counter(e).read() for e in Event},
+        "samples": None if sampler is None else sampler.total_samples,
+        "caches": [
+            (c.stats.hits, c.stats.misses, c.stats.evictions,
+             c.stats.invalidations, c.resident_lines())
+            for c in (hierarchy.l1, hierarchy.l2, hierarchy.llc)
+        ],
+        "controller": (controller.stats.accesses,
+                       controller.stats.total_latency_cycles,
+                       controller.stats.blocked_cycles),
+        "device": (device.stats.accesses, device.stats.row_hits,
+                   device.stats.activations,
+                   dict(device.stats.activations_per_bank)),
+        "open_rows": list(device._open_rows),
+        "flips": machine.memory.flip_count(),
+    }
+
+
+# -- measurement --------------------------------------------------------------
+
+
+def run_once(factory, anvil, threshold_min, max_cycles, turbo):
+    machine = build_machine(anvil, threshold_min)
+    workload = factory()
+    workload.prepare(machine)
+    t0 = time.perf_counter()
+    if turbo:
+        result = machine.run_turbo(workload, max_cycles=max_cycles)
+    else:
+        result = machine.run_fast(workload.ops(), max_cycles=max_cycles)
+    elapsed = time.perf_counter() - t0
+    stats = machine.turbo_stats if turbo else None
+    return elapsed, (result_tuple(result), state_snapshot(machine)), stats
+
+
+def measure(name, factory, anvil, threshold_min, max_cycles, reps):
+    fast_times, turbo_times = [], []
+    fast_probe = turbo_probe = turbo_stats = None
+    for _ in range(reps):
+        elapsed, probe, _ = run_once(
+            factory, anvil, threshold_min, max_cycles, turbo=False)
+        fast_times.append(elapsed)
+        fast_probe = probe
+        elapsed, probe, stats = run_once(
+            factory, anvil, threshold_min, max_cycles, turbo=True)
+        turbo_times.append(elapsed)
+        turbo_probe = probe
+        turbo_stats = stats
+    if fast_probe != turbo_probe:
+        raise AssertionError(
+            f"{name}: run_turbo diverged from run_fast\n"
+            f"  fast:  {fast_probe}\n  turbo: {turbo_probe}"
+        )
+    fast_best, turbo_best = min(fast_times), min(turbo_times)
+    simulated = fast_probe[0][1]  # end_cycles (identical on both engines)
+    return {
+        "max_cycles": max_cycles,
+        "reps": reps,
+        "fast_cycles_per_sec": simulated / fast_best,
+        "turbo_cycles_per_sec": simulated / turbo_best,
+        "speedup": fast_best / turbo_best,
+        "new_flips": fast_probe[0][8],
+        "equivalent": True,
+        "turbo": asdict(turbo_stats),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short horizons, 1 rep, no speedup gate (CI)")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="best-of-N repetitions (default 2)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="report but do not enforce the speedup gate")
+    args = parser.parse_args(argv)
+    if args.reps < 1:
+        parser.error("--reps must be >= 1")
+
+    reps = 1 if args.smoke else args.reps
+    results = {}
+    for name, (factory, anvil, threshold_min, full, smoke,
+               _gated, expect_flips) in CELLS.items():
+        horizon = smoke if args.smoke else full
+        results[name] = measure(
+            name, factory, anvil, threshold_min, horizon, reps)
+        if expect_flips and not args.smoke:
+            assert results[name]["new_flips"] > 0, (
+                f"{name}: expected bit flips inside skipped laps"
+            )
+
+    lines = [
+        "Fast-forward engine: simulated-cycles/sec, run_fast vs run_turbo",
+        f"(best of {reps}; bit-for-bit equivalence asserted on every run; "
+        f"kernels: {accel_signature()})",
+        "",
+        f"{'cell':22s} {'run_fast':>12s} {'run_turbo':>12s} {'speedup':>9s} "
+        f"{'skipped':>8s} {'exact':>6s}",
+    ]
+    for name, r in results.items():
+        turbo = r["turbo"]
+        lines.append(
+            f"{name:22s} {r['fast_cycles_per_sec'] / 1e6:9.1f}M/s "
+            f"{r['turbo_cycles_per_sec'] / 1e6:9.1f}M/s "
+            f"{r['speedup']:8.2f}x {turbo['laps_skipped']:8d} "
+            f"{turbo['laps_exact']:6d}"
+        )
+
+    headline = results["stream_resident"]
+    engaged = (headline["turbo"]["engaged"]
+               and headline["turbo"]["laps_skipped"] > 0)
+    gate_on = engaged and not (args.smoke or args.no_gate)
+    lines.append("")
+    if engaged:
+        status = "ENFORCED" if gate_on else "not enforced (smoke/no-gate)"
+    else:
+        status = ("not enforced (fast-forward disengaged: "
+                  f"{headline['turbo']['disengage_reason'] or 'no laps skipped'})")
+    lines.append(
+        f"stream_resident gate (>= {GATE_SPEEDUP:.0f}x): "
+        f"{headline['speedup']:.2f}x {status}"
+    )
+    text = "\n".join(lines)
+
+    data = {
+        "bench": "perf_fastforward",
+        "mode": "smoke" if args.smoke else "full",
+        "accel": accel_signature(),
+        "gate": {
+            "cell": "stream_resident",
+            "speedup": GATE_SPEEDUP,
+            "enforced": gate_on,
+        },
+        "cells": results,
+    }
+    publish("perf_fastforward", text, data=data)
+    (REPO_ROOT / "BENCH_fastforward.json").write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
+
+    if gate_on and headline["speedup"] < GATE_SPEEDUP:
+        print(
+            f"FAIL: stream_resident speedup {headline['speedup']:.2f}x "
+            f"< {GATE_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_perf_fastforward_smoke():
+    """Pytest entry: smoke-size run, equivalence asserted, no perf gate."""
+    assert main(["--smoke"]) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -208,6 +208,84 @@ class DramDevice:
                             flips_n += len(flips)
         return latency, flips_n
 
+    def replay_activation(self, row_id: int, row: int, time_cycles: int) -> None:
+        """Disturbance effects of one activation at an exact timestamp,
+        without touching row buffers, latency, or device stats.
+
+        Used by the turbo engine (:mod:`repro.sim.turbo`) to replay the
+        activations of an analytically skipped workload lap: the open-row
+        state is a verified fixed point across the lap and the aggregate
+        stats advance from recorded deltas, so only the disturbance side
+        (aggressor restore + neighbour deposits + flip emission) needs to
+        execute.  The statement sequence below mirrors
+        :meth:`access_miss_fast` exactly — same float accumulation order,
+        same epoch arithmetic, same flip machinery — so skipped and
+        interpreted laps leave bit-identical disturbance state and flips.
+        """
+        engine = self.refresh_engine
+        retention = engine.retention_cycles
+        total_rows = engine.total_rows
+        phase_cache = engine._phase_cache
+        rows_per_bank = self._rows_per_bank
+        tracker = self.tracker
+        state = tracker._state
+
+        # Aggressor restore (tracker.on_refresh with the epoch inlined).
+        phase = phase_cache.get(row_id)
+        if phase is None:
+            phase = (row_id * retention) // total_rows
+            phase_cache[row_id] = phase
+        shifted = time_cycles - phase
+        epoch = 0 if shifted < 0 else 1 + shifted // retention
+        entry = state.get(row_id)
+        if entry is None:
+            state[row_id] = [0.0, epoch, 0]
+        else:
+            entry[0] = 0.0
+            entry[1] = epoch
+
+        # Neighbour disturbance (tracker.disturb inlined per victim).
+        disturbance = self.config.disturbance
+        max_flips = disturbance.max_flips_per_row
+        threshold_get = self.cells._threshold_cache.get
+        distance = 0
+        for weight in disturbance.neighbor_weights:
+            distance += 1
+            for delta in (-distance, distance):
+                victim_row = row + delta
+                if not 0 <= victim_row < rows_per_bank:
+                    continue
+                victim_id = row_id + delta
+                phase = phase_cache.get(victim_id)
+                if phase is None:
+                    phase = (victim_id * retention) // total_rows
+                    phase_cache[victim_id] = phase
+                shifted = time_cycles - phase
+                vepoch = 0 if shifted < 0 else 1 + shifted // retention
+                entry = state.get(victim_id)
+                if entry is None:
+                    entry = [weight, vepoch, 0]
+                    state[victim_id] = entry
+                elif entry[1] != vepoch:
+                    entry[0] = weight
+                    entry[1] = vepoch
+                else:
+                    entry[0] += weight
+                tracker.total_units_deposited += weight
+                if entry[2] < max_flips:
+                    threshold = threshold_get(victim_id)
+                    if threshold is None:
+                        threshold = self.cells.threshold_for(victim_id)
+                    if entry[0] >= threshold:
+                        flips = tracker.emit_flips(victim_id, entry, time_cycles)
+                        if flips:
+                            row_flips = self._row_flips
+                            bucket = row_flips.get(victim_id)
+                            if bucket is None:
+                                row_flips[victim_id] = list(flips)
+                            else:
+                                bucket.extend(flips)
+
     def _activate(self, coord: DramCoord, time_cycles: int) -> list[BitFlip]:
         """Row activation: restore this row, disturb its neighbours."""
         engine = self.refresh_engine

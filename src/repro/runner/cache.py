@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any
 
 from ..errors import CacheCorruptionError
+from ..sim import kernels
 from .seeding import stable_digest
 
 #: Memoised source fingerprints, keyed by directory/file path.
@@ -49,10 +50,15 @@ def _hash_tree(root: Path) -> str:
 
 
 def code_fingerprint(extra_module_file: str | None = None) -> str:
-    """Hex digest of the ``repro`` sources (+ one extra module's source).
+    """Hex digest of the ``repro`` sources (+ one extra module's source),
+    suffixed with the active execution engine and kernel mode.
 
-    Computed once per process per path; a sweep's cache entries survive
-    exactly as long as the code that produced them is byte-identical.
+    The source tree is hashed once per process per path; the engine/accel
+    suffix is re-read per call (``REPRO_ENGINE`` / ``REPRO_ACCEL`` plus
+    numpy's presence and version), so cache entries produced under
+    different engines or kernel backends never alias even though all
+    engines promise bit-identical results — a fingerprint mismatch is a
+    recompute, never a wrong answer.
     """
     package_root = Path(__file__).resolve().parent.parent
     key = str(package_root)
@@ -60,8 +66,9 @@ def code_fingerprint(extra_module_file: str | None = None) -> str:
     if tree is None:
         tree = _hash_tree(package_root)
         _fingerprints[key] = tree
+    mode = f"{kernels.engine_mode()}-{kernels.accel_signature()}"
     if not extra_module_file:
-        return tree
+        return f"{tree}-{mode}"
     extra = _fingerprints.get(extra_module_file)
     if extra is None:
         try:
@@ -69,7 +76,7 @@ def code_fingerprint(extra_module_file: str | None = None) -> str:
         except OSError:
             extra = "unreadable"
         _fingerprints[extra_module_file] = extra
-    return f"{tree}-{extra}"
+    return f"{tree}-{extra}-{mode}"
 
 
 def encode_entry(value: Any) -> bytes:

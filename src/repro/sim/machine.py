@@ -231,3 +231,26 @@ class Machine:
         :mod:`repro.sim.fastpath`).
         """
         return execute_fast(self, ops, max_cycles=max_cycles, until=until, check_every=check_every)
+
+    def run_turbo(
+        self,
+        workload,
+        max_cycles: int | None = None,
+        until: Callable[["Machine"], bool] | None = None,
+        check_every: int = 64,
+    ) -> RunResult:
+        """Execute a workload through the analytic fast-forward engine.
+
+        ``workload`` is a :class:`~repro.workloads.generators.Workload`
+        (prepared on demand); plain op iterables are accepted and run
+        through the fast path unchanged.  When the workload declares a
+        steady program and no ``until`` predicate is given, whole periods
+        are skipped analytically between detector decision points (see
+        :mod:`repro.sim.turbo`); otherwise this is exactly
+        :meth:`run_fast`.  Bit-for-bit equivalent to :meth:`run` either
+        way.  Telemetry for the last call lands on ``self.turbo_stats``.
+        """
+        from .turbo import run_turbo as _run_turbo  # deferred: avoids cycle
+
+        return _run_turbo(self, workload, max_cycles=max_cycles, until=until,
+                          check_every=check_every)

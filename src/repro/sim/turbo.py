@@ -1,0 +1,764 @@
+"""Analytic fast-forward execution — the tier above :mod:`repro.sim.fastpath`.
+
+The fast path still *interprets* every access; long-horizon sweeps over
+steady-state synthetic workloads spend almost all of that work re-deriving
+state the model already knows.  This engine skips whole workload periods
+("laps") at a time and advances the architectural state analytically:
+
+1. **Record.**  A workload that declares itself periodic (see
+   :meth:`repro.workloads.generators.Workload.steady_program`) supplies one
+   lap of concrete ops.  The engine executes laps through the reference
+   :meth:`Machine.execute` loop, capturing each op's access record
+   (level, latency, DRAM coordinates, activations) plus per-lap stat
+   deltas, and canonicalising the machine state at the lap boundary
+   (cache tags + replacement-policy state + open rows).
+
+2. **Verify.**  The boundary state determines every future lap: caches
+   and open rows are the only state that feeds back into hit/miss and
+   activation decisions (address translation is timing-free, and flips
+   never steer these workloads' address streams).  So the first
+   *revisited* boundary state proves a limit cycle — the laps between
+   the two visits repeat verbatim forever.  Replacement policies like
+   bit-PLRU commonly settle into multi-lap cycles rather than a
+   one-lap fixed point, which is why the engine tracks a window of
+   recent boundary states instead of just comparing consecutive laps.
+   The only time-dependent effects — refresh blocking, disturbance
+   epochs, flip emission — are recomputed per skipped lap (below),
+   never assumed.
+
+3. **Skip.**  Skipping advances no cache/replacement/open-row state, so
+   the engine always skips a *whole* cycle at once — the microstate at
+   the boundary is, by construction, exactly what interpretation would
+   have restored.  Each skipped lap advances the clock by its base
+   cycles plus an exact *blocking sweep*: DRAM arrival offsets are
+   intersected with the tREFI/tRFC refresh schedule (at most one access
+   blocks per refresh window, so the sweep is O(windows · log ops) via
+   :func:`repro.sim.kernels.searchsorted_left`).  Every recorded
+   activation is replayed into the disturbance tracker at its exact
+   timestamp (:meth:`repro.dram.device.DramDevice.replay_activation`),
+   so bit flips land bit-identically to interpretation.  PMU counters,
+   cache stats, and controller/device stats advance by the recorded
+   deltas.
+
+4. **Guard band.**  A lap is skipped only when its (exactly computed)
+   end lies strictly before every decision point: the earliest pending
+   timer (stage-1 threshold tests fire from timers), the run's
+   ``max_cycles`` deadline, and the PEBS sampler's next eligible sample
+   time.  Armed counter-overflow interrupts, access hooks, memory
+   listeners, activation observers, and row filters disable skipping
+   entirely.  Laps containing a decision point run exactly through
+   :func:`repro.sim.fastpath.execute_fast`, and the boundary state is
+   re-checked afterwards — a callback that perturbs the machine
+   (selective refresh, ``flush_all``, TLB remap) invalidates the model,
+   which is then re-recorded.
+
+The result is bit-for-bit equivalent to :meth:`Machine.run` for every
+observable: RunResult, PMU counters, PEBS sample streams, cache and
+replacement state, controller/device stats, open rows, and bit flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import TYPE_CHECKING, Callable, Optional
+
+from . import kernels
+from .fastpath import execute_fast
+from .ops import CLFLUSH, COMPUTE, LOAD, MFENCE, STORE, Op
+from .results import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+#: Ops a steady program may contain.  PAIR_LOAD is excluded: its retire
+#: order draws from the machine's LCG, whose advance a skipped lap would
+#: have to model; no generator emits pairs.
+_SUPPORTED_KINDS = frozenset((LOAD, STORE, CLFLUSH, MFENCE, COMPUTE))
+
+#: Programs above this size are interpreted (recording two laps of a
+#: multi-million-op period costs more than it could ever save).
+MAX_PROGRAM_OPS = 1 << 21
+
+#: Consecutive failed recording attempts before the engine stops trying
+#: (decision points landing inside every lap, e.g. dense PEBS windows).
+_MAX_RECORD_ATTEMPTS = 10
+
+#: Longest boundary-state cycle the engine will hunt for (transient laps
+#: before the cycle count against this too).  Recording runs at reference
+#: speed, so this bounds the warm-up cost; it also bounds the memory held
+#: by boundary snapshots.
+_MAX_HISTORY = 48
+
+#: Exact laps run between recording attempts, scaled by failure count —
+#: keeps the reference-speed recording path off the critical path when
+#: decision points land inside every lap (e.g. dense PEBS windows).
+_BACKOFF_LAPS = (0, 2, 4, 8, 16, 32)
+
+#: Upper bound on laps planned in one skip batch.  Batching amortises the
+#: horizon/stat bookkeeping over many laps (vital for few-op laps like
+#: the hammer loop); the cap bounds the deferred-mutation plan's memory.
+_MAX_BATCH_LAPS = 4096
+
+
+@dataclass(frozen=True)
+class AccessProgram:
+    """One exact period of a workload's op stream, with addresses resolved.
+
+    ``ops`` must reproduce the workload's :meth:`ops` output verbatim when
+    cycled (the turbo equivalence suite asserts this per generator).
+    """
+
+    ops: list
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class TurboStats:
+    """Telemetry for one :meth:`Machine.run_turbo` call (exposed as
+    ``machine.turbo_stats``)."""
+
+    engaged: bool = False
+    disengage_reason: str = ""
+    accel: str = ""
+    laps_skipped: int = 0
+    laps_recorded: int = 0
+    laps_exact: int = 0
+    ops_skipped: int = 0
+    ops_interpreted: int = 0
+    model_rebuilds: int = 0
+
+
+class _LapTrace:
+    """One cleanly recorded lap: analytic schedule plus stat deltas."""
+
+    __slots__ = (
+        "end_state", "lap_base", "dram_off", "acts", "per_bank",
+        "cache_delta", "ctl_lat_base", "loads", "stores", "clflushes",
+        "dram", "dram_loads", "dram_stores", "lap_cycles",
+    )
+
+
+class _LapModel:
+    """One lap of a verified boundary-state cycle, compiled for skipping."""
+
+    __slots__ = (
+        "lap_base", "dram_off", "off_arr", "acts", "per_bank", "cache_delta",
+        "ctl_lat_base", "loads", "stores", "clflushes", "dram", "dram_loads",
+        "dram_stores", "end_state",
+    )
+
+
+class _SteadyModel:
+    """A verified limit cycle of lap models, walked by ``pos``."""
+
+    __slots__ = ("laps", "pos", "trefi", "trfc")
+
+
+class _StateScope:
+    """The slice of machine state a fixed program can observe or steer:
+    per level, the cache sets its line addresses index into, plus the
+    DRAM banks they decode to.
+
+    Program behaviour is a pure function of this slice — per-set
+    replacement policies never look across sets, and a bank's row buffer
+    only reacts to accesses targeting that bank.  Scoping the boundary
+    snapshot to it makes cycle detection and island revalidation O(sets
+    touched) instead of O(all sets), which is what keeps small-lap
+    programs (e.g. the hammer loop) profitable to fast-forward.
+    """
+
+    __slots__ = ("level_sets", "banks")
+
+    def __init__(self, machine: "Machine", program: AccessProgram) -> None:
+        memory = machine.memory
+        vm = memory.vm
+        hierarchy = memory.hierarchy
+        caches = (hierarchy.l1, hierarchy.l2, hierarchy.llc)
+        vaddrs = [op[1] for op in program.ops
+                  if op[0] in (LOAD, STORE, CLFLUSH)]
+        paddrs = kernels.batch_translate(vaddrs, vm)
+        level_sets = []
+        for cache in caches:
+            if cache._n_slices == 1:
+                idxs = kernels.batch_set_index(
+                    paddrs, cache._line_bits, cache._set_mask)
+            else:  # sliced LLC hashes per line; set_index stays scalar
+                idxs = [cache.set_index(paddr) for paddr in paddrs]
+            level_sets.append(tuple(sorted(set(idxs))))
+        dense_banks, _rows, _row_ids = kernels.batch_decode(
+            paddrs, memory.mapping)
+        self.level_sets = tuple(level_sets)
+        self.banks = tuple(sorted(set(dense_banks)))
+
+
+def machine_state_key(machine: "Machine", scope: _StateScope | None = None):
+    """Canonical lap-boundary state: per-set (tags, replacement state) for
+    every cache level plus the open row per bank — restricted to ``scope``
+    when given (see :class:`_StateScope`).
+
+    Two boundaries with equal keys behave identically for any future op
+    sequence (over the scope's addresses) — replacement decisions depend
+    only on this state, and the canonicalisation (see
+    ``ReplacementPolicy.state_key``) equates states that differ only by
+    behaviour-preserving relabelling (e.g. true-LRU stamp values vs.
+    their rank order).  Returns None when any policy cannot be
+    snapshotted (stochastic policies), which disables skipping.
+    """
+    hierarchy = machine.memory.hierarchy
+    open_rows = machine.memory.controller.device._open_rows
+    caches = (hierarchy.l1, hierarchy.l2, hierarchy.llc)
+    levels = []
+    if scope is None:
+        for cache in caches:
+            sets = []
+            for cset in cache._sets:
+                policy_key = cset.policy.state_key()
+                if policy_key is None:
+                    return None
+                sets.append((tuple(cset.tags), policy_key))
+            levels.append(tuple(sets))
+        return tuple(levels), tuple(open_rows)
+    for cache, indices in zip(caches, scope.level_sets):
+        all_sets = cache._sets
+        sets = []
+        for index in indices:
+            cset = all_sets[index]
+            policy_key = cset.policy.state_key()
+            if policy_key is None:
+                return None
+            sets.append((tuple(cset.tags), policy_key))
+        levels.append(tuple(sets))
+    return tuple(levels), tuple(open_rows[bank] for bank in scope.banks)
+
+
+def _skip_blocked(machine: "Machine") -> bool:
+    """True when observers with per-access side effects (or armed overflow
+    interrupts) make analytic skipping unsafe."""
+    if machine._access_hooks:
+        return True
+    memory = machine.memory
+    if memory._listeners:
+        return True
+    controller = memory.controller
+    if controller._observers or controller._row_filters:
+        return True
+    pmu = machine.pmu
+    for counter in (pmu._c_loads, pmu._c_stores, pmu._c_miss,
+                    pmu._c_load_miss, pmu._c_store_miss):
+        if counter._next_overflow is not None:
+            return True
+    return False
+
+
+def _record_lap(machine: "Machine", lap_ops: list, deadline: int | None,
+                result: RunResult, scope: _StateScope | None = None):
+    """Execute one lap through the reference interpreter, capturing a
+    :class:`_LapTrace`.  Returns ``(trace_or_None, stop_or_None, n)``;
+    the trace is None when the lap was dirty (a timer fired, a sample was
+    taken, or a refresh was issued mid-lap) or unsnapshotable.
+    """
+    memory = machine.memory
+    hierarchy = memory.hierarchy
+    lat_miss = hierarchy.miss_latency
+    clflush_cost = hierarchy.config.clflush_cycles
+    mfence_cost = hierarchy.config.mfence_cycles
+    controller = memory.controller
+    device = controller.device
+    engine = device.refresh_engine
+    trefi = engine.trefi_cycles
+    trfc = engine.trfc_cycles
+    banks_per_rank = device._banks_per_rank
+    rows_per_bank = device._rows_per_bank
+
+    sampler = machine.pmu.sampler
+    samples0 = sampler.total_samples if sampler is not None else 0
+    next_deadline0 = machine._next_deadline
+    overhead0 = machine.overhead_cycles
+    caches = (hierarchy.l1, hierarchy.l2, hierarchy.llc)
+    cache0 = [
+        (c.stats.hits, c.stats.misses, c.stats.evictions, c.stats.invalidations)
+        for c in caches
+    ]
+    refresh0 = (device.stats.refreshes_issued,
+                controller.stats.observer_refreshes,
+                controller.stats.selective_refreshes)
+
+    dram_off: list[int] = []
+    acts: list[tuple[int, int, int]] = []
+    per_bank: dict[int, int] = {}
+    pre = 0  # base-cost prefix (zero-blocking advancement inside the lap)
+    ctl_lat_base = 0
+    loads = stores = clflushes = 0
+    dram = dram_loads = dram_stores = 0
+    dirty = False
+    execute = machine.execute
+    lap_start = machine.cycles
+    n = 0
+    for op in lap_ops:
+        start = machine.cycles
+        record = execute(op)
+        n += 1
+        kind = op[0]
+        adv = machine.cycles - start
+        if record is not None:
+            if record.is_store:
+                result.stores += 1
+                stores += 1
+            else:
+                result.loads += 1
+                loads += 1
+            latency = record.latency_cycles
+            if adv != latency:
+                dirty = True  # a PMI or timer callback ran inside this op
+            if record.level == "DRAM":
+                result.dram_accesses += 1
+                dram += 1
+                if record.is_store:
+                    dram_stores += 1
+                else:
+                    dram_loads += 1
+                t_mem = start + lat_miss
+                pos = t_mem % trefi
+                blocked = trfc - pos if pos < trfc else 0
+                base = latency - blocked
+                dram_off.append(pre + lat_miss)
+                ctl_lat_base += base - lat_miss
+                if record.activated:
+                    coord = record.coord
+                    bank = coord.rank * banks_per_rank + coord.bank
+                    row_id = bank * rows_per_bank + coord.row
+                    acts.append((dram - 1, row_id, coord.row))
+                    per_bank[bank] = per_bank.get(bank, 0) + 1
+                pre += base
+            else:
+                pre += latency
+        elif kind == CLFLUSH:
+            result.clflushes += 1
+            clflushes += 1
+            if adv != clflush_cost:
+                dirty = True
+            pre += clflush_cost
+        elif kind == COMPUTE:
+            if adv != op[1]:
+                dirty = True
+            pre += op[1]
+        else:  # MFENCE
+            if adv != mfence_cost:
+                dirty = True
+            pre += mfence_cost
+        if deadline is not None and machine.cycles >= deadline:
+            return None, "max_cycles", n
+
+    if sampler is not None and sampler.total_samples != samples0:
+        dirty = True
+    if machine.cycles >= next_deadline0:
+        dirty = True  # a timer fired somewhere in the lap
+    if machine.overhead_cycles != overhead0:
+        dirty = True
+    if (device.stats.refreshes_issued,
+            controller.stats.observer_refreshes,
+            controller.stats.selective_refreshes) != refresh0:
+        dirty = True
+    if dirty:
+        return None, None, n
+
+    end_state = machine_state_key(machine, scope)
+    if end_state is None:
+        return None, None, n
+
+    trace = _LapTrace()
+    trace.end_state = end_state
+    trace.lap_base = pre
+    trace.dram_off = dram_off
+    trace.acts = acts
+    trace.per_bank = per_bank
+    trace.cache_delta = tuple(
+        (c.stats.hits - h0, c.stats.misses - m0,
+         c.stats.evictions - e0, c.stats.invalidations - i0)
+        for c, (h0, m0, e0, i0) in zip(caches, cache0)
+    )
+    trace.ctl_lat_base = ctl_lat_base
+    trace.loads = loads
+    trace.stores = stores
+    trace.clflushes = clflushes
+    trace.dram = dram
+    trace.dram_loads = dram_loads
+    trace.dram_stores = dram_stores
+    trace.lap_cycles = machine.cycles - lap_start
+    return trace, None, n
+
+
+def _build_model(cycle: list[_LapTrace], machine: "Machine") -> _SteadyModel:
+    engine = machine.memory.controller.device.refresh_engine
+    model = _SteadyModel()
+    model.laps = []
+    model.pos = 0
+    model.trefi = engine.trefi_cycles
+    model.trfc = engine.trfc_cycles
+    for trace in cycle:
+        lap = _LapModel()
+        lap.lap_base = trace.lap_base
+        lap.dram_off = trace.dram_off
+        lap.off_arr = kernels.int_array(trace.dram_off)
+        lap.acts = trace.acts
+        lap.per_bank = trace.per_bank
+        lap.cache_delta = trace.cache_delta
+        lap.ctl_lat_base = trace.ctl_lat_base
+        lap.loads = trace.loads
+        lap.stores = trace.stores
+        lap.clflushes = trace.clflushes
+        lap.dram = trace.dram
+        lap.dram_loads = trace.dram_loads
+        lap.dram_stores = trace.dram_stores
+        lap.end_state = trace.end_state
+        model.laps.append(lap)
+    return model
+
+
+def _sweep_blocking(t0: int, lap: _LapModel, trefi: int, trfc: int):
+    """Exact refresh-blocking totals for a lap starting at ``t0``.
+
+    DRAM arrival offsets are strictly increasing, so within one tREFI
+    window at most the *first* arrival inside the tRFC region blocks (it
+    is pushed past the region; later arrivals land after it).  The sweep
+    therefore jumps window to window — O(windows · log ops) — returning
+    the accumulated delay and the ``(dram_index, delay)`` block list.
+    Pure computation: no machine state is touched, so the caller can
+    reject the skip (guard-band overrun) at zero cost.
+    """
+    offsets = lap.dram_off
+    arr = lap.off_arr
+    count = len(offsets)
+    search = kernels.searchsorted_left
+    acc = 0
+    blocks: list[tuple[int, int]] = []
+    j = 0
+    while j < count:
+        t = t0 + offsets[j] + acc
+        pos = t % trefi
+        if pos < trfc:
+            delay = trfc - pos
+            blocks.append((j, delay))
+            acc += delay
+        boundary = t - pos + trefi
+        j = search(arr, boundary - t0 - acc, j + 1)
+    return acc, blocks
+
+
+def _apply_batch(machine: "Machine",
+                 plan: list[tuple[_LapModel, int, int, list[tuple[int, int]]]],
+                 t_end: int) -> tuple[int, int, int, int]:
+    """Advance the machine across a batch of planned laps analytically
+    (state-mutation counterpart of :func:`_sweep_blocking`).
+
+    Disturbance replay stays per-activation — flip timestamps must match
+    the reference run exactly — but every counter/statistic update is
+    aggregated across the batch and applied once, which is what makes
+    skipping profitable even for few-op laps like the hammer loop.
+    Returns ``(loads, stores, clflushes, dram)`` totals for the caller's
+    :class:`RunResult`.
+    """
+    replay = machine.memory.controller.device.replay_activation
+    loads = stores = clflushes = dram = dram_loads = dram_stores = 0
+    acts_total = 0
+    acc_total = 0
+    lat_base_total = 0
+    cache_totals = ([0, 0, 0, 0], [0, 0, 0, 0], [0, 0, 0, 0])
+    bank_totals: dict[int, int] = {}
+
+    for lap, t0, acc, blocks in plan:
+        offsets = lap.dram_off
+        block_i = 0
+        block_n = len(blocks)
+        block_acc = 0
+        for act_idx, row_id, row in lap.acts:
+            while block_i < block_n and blocks[block_i][0] < act_idx:
+                block_acc += blocks[block_i][1]
+                block_i += 1
+            if block_i < block_n and blocks[block_i][0] == act_idx:
+                # This activation is itself the blocked access: the
+                # device sees it at its refresh-snapped time.
+                delay = blocks[block_i][1]
+                replay(row_id, row, t0 + offsets[act_idx] + block_acc + delay)
+                block_acc += delay
+                block_i += 1
+            else:
+                replay(row_id, row, t0 + offsets[act_idx] + block_acc)
+
+        loads += lap.loads
+        stores += lap.stores
+        clflushes += lap.clflushes
+        dram += lap.dram
+        dram_loads += lap.dram_loads
+        dram_stores += lap.dram_stores
+        acts_total += len(lap.acts)
+        acc_total += acc
+        lat_base_total += lap.ctl_lat_base
+        for totals, delta in zip(cache_totals, lap.cache_delta):
+            totals[0] += delta[0]
+            totals[1] += delta[1]
+            totals[2] += delta[2]
+            totals[3] += delta[3]
+        for bank, n_acts in lap.per_bank.items():
+            bank_totals[bank] = bank_totals.get(bank, 0) + n_acts
+
+    pmu = machine.pmu
+    pmu._c_loads.value += loads
+    pmu._c_stores.value += stores
+    pmu._c_miss.value += dram
+    pmu._c_load_miss.value += dram_loads
+    pmu._c_store_miss.value += dram_stores
+
+    hierarchy = machine.memory.hierarchy
+    for cache, (d_hits, d_misses, d_evictions, d_invalidations) in zip(
+            (hierarchy.l1, hierarchy.l2, hierarchy.llc), cache_totals):
+        stats = cache.stats
+        stats.hits += d_hits
+        stats.misses += d_misses
+        stats.evictions += d_evictions
+        stats.invalidations += d_invalidations
+
+    controller = machine.memory.controller
+    ctl_stats = controller.stats
+    ctl_stats.accesses += dram
+    ctl_stats.total_latency_cycles += lat_base_total + acc_total
+    ctl_stats.blocked_cycles += acc_total
+
+    dev_stats = controller.device.stats
+    dev_stats.accesses += dram
+    dev_stats.row_hits += dram - acts_total
+    dev_stats.activations += acts_total
+    per_bank = dev_stats.activations_per_bank
+    for bank, n_acts in bank_totals.items():
+        per_bank[bank] = per_bank.get(bank, 0) + n_acts
+
+    machine.cycles = t_end
+    return loads, stores, clflushes, dram
+
+
+def execute_turbo(machine: "Machine", program: AccessProgram,
+                  max_cycles: int | None = None,
+                  stats: TurboStats | None = None) -> RunResult:
+    """Run ``program`` cycled forever (or until ``max_cycles``) with
+    analytic lap skipping.  Bit-identical to feeding the cycled program
+    through :meth:`Machine.run`."""
+    st = stats if stats is not None else TurboStats(accel=kernels.accel_signature())
+    lap_ops = program.ops
+    lap_len = len(lap_ops)
+    if lap_len == 0:
+        raise ValueError("cannot fast-forward an empty program")
+
+    start_cycles = machine.cycles
+    start_overhead = machine.overhead_cycles
+    miss_counter = machine.pmu._c_miss
+    start_misses = miss_counter.read()
+    start_flips = machine.memory.flip_count()
+    deadline = None if max_cycles is None else start_cycles + max_cycles
+    result = RunResult(start_cycles=start_cycles, end_cycles=start_cycles,
+                       ops_executed=0)
+    n_total = 0
+    scope = _StateScope(machine, program)
+
+    model: _SteadyModel | None = None
+    #: Consecutive cleanly recorded traces, and a map from each boundary
+    #: state seen in the streak (position 0 = the pre-streak state) to
+    #: its position.  A revisited state closes a limit cycle.
+    history: list[_LapTrace] = []
+    state_index: dict = {}
+    lap_estimate = 0  # cycles of the last completed lap (any path)
+    attempts = 0      # consecutive dirty recording attempts
+    backoff = 0       # exact laps to run before the next recording attempt
+    gave_up = False
+
+    while True:
+        # Nearest decision point: earliest timer, the run deadline, and
+        # (when sampling) the next eligible PEBS sample time.  Offers
+        # below _next_sample_at have no side effects, so a lap ending
+        # strictly before all three is safe to skip.
+        horizon = machine._next_deadline
+        if deadline is not None and deadline < horizon:
+            horizon = deadline
+        sampler = machine.pmu.sampler
+        if sampler is not None and sampler.enabled:
+            next_sample = ceil(sampler._next_sample_at)
+            if next_sample < horizon:
+                horizon = next_sample
+
+        if model is not None and not _skip_blocked(machine):
+            # Skipping never touches cache/replacement/open-row state, so
+            # only *whole* cycles — which return the microstate to the
+            # current boundary — may be skipped.  Sweep laps first (pure),
+            # batching as many full cycles as fit under the horizon, then
+            # apply the whole batch with one aggregated stat update.
+            laps = model.laps
+            k = len(laps)
+            trefi = model.trefi
+            trfc = model.trfc
+            pos = model.pos
+            t0 = machine.cycles
+            t = t0
+            plan: list = []
+            while len(plan) + k <= _MAX_BATCH_LAPS:
+                tc = t
+                cycle = []
+                fits = True
+                for i in range(k):
+                    lap = laps[(pos + i) % k]
+                    acc, blocks = _sweep_blocking(tc, lap, trefi, trfc)
+                    cycle.append((lap, tc, acc, blocks))
+                    tc += lap.lap_base + acc
+                    if tc >= horizon:
+                        fits = False
+                        break
+                if not fits:
+                    break
+                plan.extend(cycle)
+                t = tc
+            if plan:
+                loads, stores, clflushes, dram = _apply_batch(machine, plan, t)
+                result.loads += loads
+                result.stores += stores
+                result.clflushes += clflushes
+                result.dram_accesses += dram
+                n_laps = len(plan)
+                n_total += n_laps * lap_len
+                lap_estimate = (t - t0) // n_laps
+                st.laps_skipped += n_laps
+                st.ops_skipped += n_laps * lap_len
+                continue
+
+        # A decision point (or no model) forces exact execution of this
+        # lap.  Recording runs the reference interpreter; skip it when a
+        # decision point is likely to land inside the lap anyway.
+        room = horizon - machine.cycles
+        may_record = (
+            model is None and not gave_up and backoff == 0
+            and (lap_estimate == 0 or room > lap_estimate + (lap_estimate >> 3))
+        )
+        if may_record:
+            if not history:
+                start_state = machine_state_key(machine, scope)
+                if start_state is None:
+                    gave_up = True
+                    st.disengage_reason = "state not snapshotable"
+                    continue
+                state_index = {start_state: 0}
+            trace, stop, n = _record_lap(machine, lap_ops, deadline, result,
+                                         scope)
+            n_total += n
+            st.laps_recorded += 1
+            st.ops_interpreted += n
+            if stop is not None:
+                result.stopped_by = stop
+                break
+            if trace is not None:
+                attempts = 0  # only *consecutive* dirty laps give up
+                lap_estimate = trace.lap_cycles
+                history.append(trace)
+                seen = state_index.get(trace.end_state)
+                if seen is not None:
+                    # The machine is back in a state it already left from:
+                    # the laps recorded since then repeat forever.
+                    model = _build_model(history[seen:], machine)
+                    history = []
+                    state_index = {}
+                    attempts = 0
+                else:
+                    state_index[trace.end_state] = len(history)
+                    if len(history) >= _MAX_HISTORY:
+                        gave_up = True
+                        st.disengage_reason = "steady state never converged"
+            else:
+                # Dirty lap: a decision point fired mid-lap; the streak is
+                # broken, and interpreting for a while beats paying for
+                # another reference-speed lap straight away.
+                history = []
+                state_index = {}
+                attempts += 1
+                backoff = _BACKOFF_LAPS[min(attempts, len(_BACKOFF_LAPS) - 1)]
+                if attempts >= _MAX_RECORD_ATTEMPTS:
+                    gave_up = True
+                    st.disengage_reason = "decision points in every lap"
+        else:
+            remaining = None if deadline is None else deadline - machine.cycles
+            seg = execute_fast(machine, iter(lap_ops), max_cycles=remaining)
+            n_total += seg.ops_executed
+            result.loads += seg.loads
+            result.stores += seg.stores
+            result.clflushes += seg.clflushes
+            result.dram_accesses += seg.dram_accesses
+            st.laps_exact += 1
+            st.ops_interpreted += seg.ops_executed
+            history = []  # an exact lap moves the state past the streak
+            state_index = {}
+            if backoff:
+                backoff -= 1
+            if seg.stopped_by == "max_cycles":
+                result.stopped_by = "max_cycles"
+                break
+            lap_estimate = seg.end_cycles - seg.start_cycles
+            if model is not None:
+                # Island revalidation: a callback that ran inside this
+                # lap may have perturbed cache/open-row state.  A timer
+                # that only reads counters leaves the boundary state on
+                # the cycle, so skipping resumes at the next position.
+                if machine_state_key(machine, scope) == model.laps[model.pos].end_state:
+                    model.pos = (model.pos + 1) % len(model.laps)
+                else:
+                    model = None
+                    attempts = 0
+                    st.model_rebuilds += 1
+
+    result.ops_executed = n_total
+    result.end_cycles = machine.cycles
+    result.llc_misses = miss_counter.read() - start_misses
+    result.new_flips = machine.memory.flip_count() - start_flips
+    result.overhead_cycles = machine.overhead_cycles - start_overhead
+    return result
+
+
+def run_turbo(machine: "Machine", workload,
+              max_cycles: int | None = None,
+              until: Optional[Callable[["Machine"], bool]] = None,
+              check_every: int = 64) -> RunResult:
+    """Entry point behind :meth:`Machine.run_turbo`: engage the analytic
+    fast-forward when the workload declares a steady program, otherwise
+    delegate to the fast path (bit-identical either way).
+
+    ``until`` predicates disable fast-forward entirely: the reference
+    loop evaluates them at fixed op counts, which a skipped lap cannot
+    reproduce exactly.
+    """
+    stats = TurboStats(accel=kernels.accel_signature())
+    machine.turbo_stats = stats
+
+    steady = getattr(workload, "steady_program", None)
+    if steady is None:
+        stats.disengage_reason = "raw op stream"
+        return execute_fast(machine, workload, max_cycles=max_cycles,
+                            until=until, check_every=check_every)
+
+    if not workload.prepared:
+        workload.prepare(machine)
+    program = None
+    if until is not None:
+        stats.disengage_reason = "until predicate"
+    else:
+        program = steady()
+        if program is None:
+            stats.disengage_reason = "no steady program"
+        elif len(program.ops) > MAX_PROGRAM_OPS:
+            stats.disengage_reason = "program too large"
+            program = None
+        elif not _SUPPORTED_KINDS.issuperset(op[0] for op in program.ops):
+            stats.disengage_reason = "unsupported op kinds"
+            program = None
+    if program is None:
+        return execute_fast(machine, workload.ops(), max_cycles=max_cycles,
+                            until=until, check_every=check_every)
+    stats.engaged = True
+    return execute_turbo(machine, program, max_cycles=max_cycles, stats=stats)

@@ -12,6 +12,8 @@ the time; h264ref, gobmk, sjeng and hmmer less than 10%).
 """
 
 from .generators import (
+    ClosedFormStats,
+    HammerWorkload,
     MixedWorkload,
     PointerChaseWorkload,
     RandomAccessWorkload,
@@ -24,6 +26,8 @@ from .background import BackgroundMix, interleave
 
 __all__ = [
     "BackgroundMix",
+    "ClosedFormStats",
+    "HammerWorkload",
     "MixedWorkload",
     "PointerChaseWorkload",
     "RandomAccessWorkload",

@@ -1,0 +1,271 @@
+"""Property tests: generators' empirical statistics match their closed forms.
+
+The fast-forward tier and the sweep benches reason about workloads through
+:meth:`Workload.closed_form` — analytic steady-state LLC miss rate and
+DRAM row locality.  These tests run the actual machine (after a warm-up
+period) and pin the empirical statistics against the closed forms, with
+hypothesis drawing the workload parameters.  A second group pins the
+integer-exact batch kernels (:mod:`repro.sim.kernels`) against their
+scalar counterparts — on both backends, since ``REPRO_ACCEL`` decides
+which one runs.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.pmu import Event
+from repro.presets import small_machine
+from repro.sim import kernels
+from repro.sim.ops import LOAD
+from repro.workloads import (
+    HammerWorkload,
+    PointerChaseWorkload,
+    RandomAccessWorkload,
+    StreamWorkload,
+    ThrashWorkload,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+SLOW = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def measure(workload, mem_ops: int, warm_mem_ops: int):
+    """Empirical (miss_rate, row_locality) over ``mem_ops`` memory ops,
+    after discarding ``warm_mem_ops`` of cache/row-buffer warm-up."""
+    machine = small_machine()
+    workload.prepare(machine)
+    per_mem = 2 if workload.think_cycles else 1
+    stream = workload.ops()
+    machine.run_fast(islice(stream, warm_mem_ops * per_mem))
+    counter = machine.pmu.counter(Event.LONGEST_LAT_CACHE_MISS)
+    device = machine.memory.controller.device.stats
+    misses0, dram0, hits0 = counter.read(), device.accesses, device.row_hits
+    machine.run_fast(islice(stream, mem_ops * per_mem))
+    misses = counter.read() - misses0
+    dram = device.accesses - dram0
+    hits = device.row_hits - hits0
+    return misses / mem_ops, (hits / dram if dram else 0.0)
+
+
+# -- miss rate / row locality vs closed form -------------------------------------
+
+
+@SLOW
+@given(
+    buffer_kb=st.sampled_from([128, 256, 512, 1024]),
+    stride=st.sampled_from([64, 128, 256]),
+    think=st.sampled_from([0, 20]),
+)
+def test_stream_cache_resident_closed_form(buffer_kb, stride, think):
+    workload = StreamWorkload(
+        buffer_bytes=buffer_kb * KB, stride=stride, think_cycles=think
+    )
+    form = workload.closed_form()
+    assert form.miss_rate == 0.0
+    period = form.mem_ops_per_period
+    miss_rate, _locality = measure(workload, period, warm_mem_ops=2 * period)
+    assert miss_rate == pytest.approx(form.miss_rate, abs=0.02)
+
+
+#: The thrashing closed forms are asymptotic capacity models; bit-PLRU
+#: retains a noticeable fraction of lines until the footprint clears
+#: ~2.5x the LLC (empirically: 4 MB → 0.85 miss, 8 MB → 0.999 miss
+#: against a 3 MB LLC), so the thrashing cells stay at or above 8 MB.
+THRASH_MB = 8
+
+
+@SLOW
+@given(stride=st.sampled_from([64, 128]))
+def test_stream_llc_thrashing_closed_form(stride):
+    workload = StreamWorkload(buffer_bytes=THRASH_MB * MB, stride=stride)
+    form = workload.closed_form()
+    assert form.miss_rate > 0.0
+    period = form.mem_ops_per_period
+    miss_rate, locality = measure(workload, period // 4, warm_mem_ops=period)
+    assert miss_rate == pytest.approx(form.miss_rate, abs=0.02)
+    assert locality == pytest.approx(form.row_locality, abs=0.02)
+
+
+@SLOW
+@given(ws_mb=st.sampled_from([6, 8, 12]))
+def test_random_closed_form(ws_mb):
+    workload = RandomAccessWorkload(working_set_bytes=ws_mb * MB)
+    form = workload.closed_form()
+    miss_rate, locality = measure(workload, 20_000, warm_mem_ops=60_000)
+    assert miss_rate == pytest.approx(form.miss_rate, abs=0.1)
+    assert locality == pytest.approx(form.row_locality, abs=0.1)
+
+
+@SLOW
+@given(
+    ws_kb=st.sampled_from([64, 256]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_pointer_chase_resident_closed_form(ws_kb, seed):
+    workload = PointerChaseWorkload(working_set_bytes=ws_kb * KB, seed=seed)
+    form = workload.closed_form()
+    assert form.miss_rate == 0.0
+    period = form.mem_ops_per_period
+    miss_rate, _locality = measure(workload, period, warm_mem_ops=2 * period)
+    assert miss_rate == pytest.approx(0.0, abs=0.02)
+
+
+@SLOW
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_pointer_chase_thrashing_closed_form(seed):
+    workload = PointerChaseWorkload(working_set_bytes=THRASH_MB * MB, seed=seed)
+    form = workload.closed_form()
+    assert form.miss_rate == 1.0
+    period = form.mem_ops_per_period
+    miss_rate, locality = measure(workload, period // 4, warm_mem_ops=period)
+    assert miss_rate == pytest.approx(1.0, abs=0.02)
+    assert locality == pytest.approx(form.row_locality, abs=0.05)
+
+
+@SLOW
+@given(footprint_mb=st.sampled_from([THRASH_MB, 12]))
+def test_thrash_closed_form(footprint_mb):
+    workload = ThrashWorkload(footprint_bytes=footprint_mb * MB)
+    form = workload.closed_form()
+    assert form.miss_rate == 1.0
+    period = form.mem_ops_per_period
+    miss_rate, locality = measure(workload, period // 4, warm_mem_ops=period)
+    assert miss_rate == pytest.approx(1.0, abs=0.02)
+    assert locality == pytest.approx(form.row_locality, abs=0.02)
+
+
+@SLOW
+@given(
+    aggressors=st.sampled_from([1, 2, 4]),
+    think=st.sampled_from([0, 120]),
+)
+def test_hammer_closed_form(aggressors, think):
+    workload = HammerWorkload(aggressors=aggressors, think_cycles=think)
+    form = workload.closed_form()
+    assert form.miss_rate == 1.0
+    machine = small_machine()
+    workload.prepare(machine)
+    lap = workload.steady_program().ops
+    stream = workload.ops()
+    machine.run_fast(islice(stream, 10 * len(lap)))
+    device = machine.memory.controller.device.stats
+    counter = machine.pmu.counter(Event.LONGEST_LAT_CACHE_MISS)
+    misses0, dram0, hits0 = counter.read(), device.accesses, device.row_hits
+    laps = 500
+    machine.run_fast(islice(stream, laps * len(lap)))
+    mem_ops = laps * aggressors
+    miss_rate = (counter.read() - misses0) / mem_ops
+    dram = device.accesses - dram0
+    locality = (device.row_hits - hits0) / dram
+    assert miss_rate == pytest.approx(1.0, abs=0.02)
+    assert locality == pytest.approx(form.row_locality, abs=0.02)
+
+
+# -- batch kernels are integer-exact against their scalar counterparts -----------
+
+
+@pytest.fixture(params=["numpy", "stdlib"])
+def accel_mode(request, monkeypatch):
+    if request.param == "numpy":
+        pytest.importorskip("numpy")
+        monkeypatch.delenv(kernels.ACCEL_ENV, raising=False)
+    else:
+        monkeypatch.setenv(kernels.ACCEL_ENV, "0")
+    return request.param
+
+
+def test_batch_translate_matches_scalar(accel_mode):
+    machine = small_machine()
+    workload = StreamWorkload(buffer_bytes=256 * KB, stride=192, seed=11)
+    workload.prepare(machine)
+    vm = machine.memory.vm
+    vaddrs = [op[1] for op in workload.steady_program().ops
+              if op[0] == LOAD]
+    batched = kernels.batch_translate(vaddrs, vm)
+    assert batched == [vm.translate(vaddr) for vaddr in vaddrs]
+
+
+def test_batch_set_index_and_decode_match_scalar(accel_mode):
+    machine = small_machine()
+    workload = RandomAccessWorkload(working_set_bytes=2 * MB, seed=12)
+    workload.prepare(machine)
+    vm = machine.memory.vm
+    mapping = machine.memory.mapping
+    device = machine.memory.controller.device
+    vaddrs = [workload._base + offset
+              for offset in islice(workload._addresses(), 2048)]
+    paddrs = kernels.batch_translate(vaddrs, vm)
+    for cache in (machine.memory.hierarchy.l1, machine.memory.hierarchy.l2):
+        batched = kernels.batch_set_index(
+            paddrs, cache._line_bits, cache._set_mask
+        )
+        assert batched == [cache.set_index(paddr) for paddr in paddrs]
+    banks, rows, row_ids = kernels.batch_decode(paddrs, mapping)
+    for paddr, bank, row, row_id in zip(paddrs, banks, rows, row_ids):
+        coord = mapping.decode(paddr)
+        dense = coord.rank * device._banks_per_rank + coord.bank
+        assert (bank, row) == (dense, coord.row)
+        assert row_id == dense * mapping.config.rows_per_bank + coord.row
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    times=st.lists(st.integers(min_value=0, max_value=10**9), max_size=200),
+    trefi=st.integers(min_value=100, max_value=100_000),
+    trfc=st.integers(min_value=1, max_value=99),
+)
+def test_batch_blocking_matches_scalar(times, trefi, trfc):
+    expected = [max(0, trfc - (t % trefi)) if (t % trefi) < trfc else 0
+                for t in times]
+    assert kernels.batch_blocking(times, trefi, trfc) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=0, max_value=31)),
+        max_size=3000,
+    ),
+)
+def test_count_activations_matches_scalar(data):
+    banks = [bank for bank, _row in data]
+    rows = [row for _bank, row in data]
+    open_rows: list[int | None] = [None] * 8
+    expected = 0
+    for bank, row in data:
+        if open_rows[bank] != row:
+            open_rows[bank] = row
+            expected += 1
+    assert kernels.count_activations(banks, rows, 8) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=2**40), min_size=1,
+                    max_size=500),
+    probe=st.integers(min_value=0, max_value=2**40),
+)
+def test_searchsorted_and_prefix_sums_match_scalar(values, probe):
+    from bisect import bisect_left
+
+    ordered = sorted(values)
+    arr = kernels.int_array(ordered)
+    assert kernels.searchsorted_left(arr, probe) == bisect_left(ordered, probe)
+    total, sums = 0, []
+    for value in values:
+        total += value
+        sums.append(total)
+    assert kernels.prefix_sums(values) == sums

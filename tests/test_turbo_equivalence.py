@@ -1,0 +1,245 @@
+"""Triple-engine equivalence: ``Machine.run_turbo`` vs ``run_fast`` vs ``run``.
+
+The analytic fast-forward tier (:mod:`repro.sim.turbo`) promises bit-for-bit
+identity with the reference interpreter while skipping whole workload
+periods.  These tests drive triplet machines — one per engine — through the
+same workloads and compare everything observable (same snapshot as the
+fastpath suite: RunResult, PMU counters, sampler state, per-level cache
+statistics and residency, controller/device statistics, open rows, flips).
+
+Cells are chosen to exercise every engine regime:
+
+* cache-resident stream → model converges, laps are *skipped* wholesale;
+* pointer chase under ANVIL → stage-1 timers carve decision-point islands
+  that run exactly, with model revalidation in between;
+* CLFLUSH hammer loop → DRAM activations and bit flips happen *inside
+  skipped laps* via disturbance replay;
+* fallback paths (no steady program, ``until`` predicates, store traffic,
+  access hooks, oversized programs) → clean delegation to the fast path.
+
+Both kernel backends (numpy / stdlib) are exercised via ``REPRO_ACCEL``.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+import pytest
+
+from tests.test_fastpath_equivalence import (
+    build_machine,
+    result_tuple,
+    state_snapshot,
+)
+
+from repro.sim import turbo
+from repro.sim.kernels import accel_signature
+from repro.workloads import (
+    HammerWorkload,
+    PointerChaseWorkload,
+    RandomAccessWorkload,
+    StreamWorkload,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+ENGINES = ("run", "run_fast", "run_turbo")
+
+
+def run_triplet(make_workload, *, anvil=False, threshold_min=None,
+                max_cycles, hook=None):
+    """Run the same workload through all three engines on twin machines;
+    return ({engine: (result_tuple, snapshot)}, turbo_stats)."""
+    outcomes = {}
+    turbo_stats = None
+    for engine in ENGINES:
+        machine = build_machine(anvil=anvil, threshold_min=threshold_min)
+        if hook is not None:
+            hook(machine)
+        workload = make_workload()
+        workload.prepare(machine)
+        if engine == "run_turbo":
+            result = machine.run_turbo(workload, max_cycles=max_cycles)
+            turbo_stats = machine.turbo_stats
+        else:
+            result = getattr(machine, engine)(
+                workload.ops(), max_cycles=max_cycles
+            )
+        outcomes[engine] = (result_tuple(result), state_snapshot(machine))
+    return outcomes, turbo_stats
+
+
+def assert_equivalent(outcomes):
+    assert outcomes["run_fast"] == outcomes["run"]
+    assert outcomes["run_turbo"] == outcomes["run"]
+
+
+# -- skipping regimes -----------------------------------------------------------
+
+
+def test_stream_skips_laps_bit_identically():
+    outcomes, stats = run_triplet(
+        lambda: StreamWorkload(buffer_bytes=512 * KB, stride=64, seed=1),
+        max_cycles=20_000_000,
+    )
+    assert stats.engaged
+    assert stats.laps_skipped > 0
+    assert stats.ops_skipped > stats.ops_interpreted
+    assert stats.accel == accel_signature()
+    assert_equivalent(outcomes)
+
+
+def test_pointer_chase_under_anvil_islands():
+    """Stage-1 timers land inside laps: the engine must interleave exact
+    'island' laps with skipping and revalidate the model afterwards."""
+    outcomes, stats = run_triplet(
+        lambda: PointerChaseWorkload(working_set_bytes=128 * KB, seed=3),
+        anvil=True,
+        max_cycles=20_000_000,
+    )
+    assert stats.engaged
+    assert stats.laps_skipped > 0
+    assert stats.laps_exact > 0  # decision-point islands ran exactly
+    assert_equivalent(outcomes)
+
+
+def test_hammer_flips_inside_skipped_laps():
+    """Disturbance replay: activations recorded in the model must flip
+    bits at the exact cycles interpretation would have."""
+    outcomes, stats = run_triplet(
+        lambda: HammerWorkload(aggressors=2, think_cycles=120, seed=5),
+        threshold_min=20_000,
+        max_cycles=30_000_000,
+    )
+    assert stats.engaged
+    assert stats.laps_skipped > 0
+    assert outcomes["run"][0][8] > 0  # new_flips in the reference run
+    assert_equivalent(outcomes)
+
+
+def test_hammer_under_anvil_with_sampling():
+    """PEBS sampling shrinks the horizon to ~52K-cycle windows; selective
+    refresh callbacks perturb state and force model rebuilds."""
+    outcomes, stats = run_triplet(
+        lambda: HammerWorkload(aggressors=2, think_cycles=120, seed=5),
+        anvil=True,
+        threshold_min=20_000,
+        max_cycles=20_000_000,
+    )
+    assert stats.engaged
+    assert stats.laps_skipped > 0
+    assert_equivalent(outcomes)
+
+
+# -- fallback paths --------------------------------------------------------------
+
+
+def test_random_workload_falls_back():
+    """No steady period → clean delegation to the fast path."""
+    outcomes, stats = run_triplet(
+        lambda: RandomAccessWorkload(working_set_bytes=1 * MB, seed=2),
+        max_cycles=2_000_000,
+    )
+    assert not stats.engaged
+    assert stats.disengage_reason == "no steady program"
+    assert stats.laps_skipped == 0
+    assert_equivalent(outcomes)
+
+
+def test_store_fraction_falls_back():
+    outcomes, stats = run_triplet(
+        lambda: StreamWorkload(buffer_bytes=256 * KB, stride=64,
+                               store_fraction=0.25, seed=4),
+        max_cycles=2_000_000,
+    )
+    assert not stats.engaged
+    assert stats.disengage_reason == "no steady program"
+    assert_equivalent(outcomes)
+
+
+def test_until_predicate_falls_back():
+    machine = build_machine()
+    workload = StreamWorkload(buffer_bytes=256 * KB, stride=64, seed=6)
+    workload.prepare(machine)
+    result = machine.run_turbo(
+        workload,
+        max_cycles=2_000_000,
+        until=lambda m: m.cycles > 500_000,
+    )
+    assert not machine.turbo_stats.engaged
+    assert machine.turbo_stats.disengage_reason == "until predicate"
+    assert result.stopped_by == "until"
+
+
+def test_oversized_program_falls_back(monkeypatch):
+    monkeypatch.setattr(turbo, "MAX_PROGRAM_OPS", 4)
+    machine = build_machine()
+    workload = HammerWorkload(aggressors=2, think_cycles=120, seed=5)
+    workload.prepare(machine)
+    machine.run_turbo(workload, max_cycles=1_000_000)
+    assert not machine.turbo_stats.engaged
+    assert machine.turbo_stats.disengage_reason == "program too large"
+
+
+def test_access_hook_blocks_skipping():
+    """Hooks observe every access, so no lap may be skipped — but the
+    engine must still be bit-identical (everything runs exactly)."""
+    seen = []
+
+    def hook(machine):
+        machine.add_access_hook(lambda op, rec: seen.append(1))
+
+    outcomes, stats = run_triplet(
+        lambda: HammerWorkload(aggressors=2, think_cycles=120, seed=5),
+        threshold_min=30_000,
+        max_cycles=1_000_000,
+        hook=hook,
+    )
+    assert stats.engaged  # engagement is decided before hooks are checked
+    assert stats.laps_skipped == 0
+    assert_equivalent(outcomes)
+
+
+# -- program fidelity ------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "make_workload",
+    [
+        lambda: StreamWorkload(buffer_bytes=64 * KB, stride=64, seed=7),
+        lambda: StreamWorkload(buffer_bytes=64 * KB, stride=192, seed=7),
+        lambda: PointerChaseWorkload(working_set_bytes=32 * KB, seed=8),
+        lambda: HammerWorkload(aggressors=3, think_cycles=50, seed=9),
+    ],
+)
+def test_steady_program_matches_ops_stream(make_workload):
+    """The declared program, cycled, must reproduce ops() verbatim — the
+    contract the whole fast-forward tier rests on."""
+    machine = build_machine()
+    workload = make_workload()
+    workload.prepare(machine)
+    program = workload.steady_program()
+    assert program is not None
+    assert len(program) > 0
+    stream = list(islice(workload.ops(), 2 * len(program)))
+    assert stream == program.ops * 2
+
+
+# -- kernel backends -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("accel", ["0", "1"])
+def test_backends_agree(monkeypatch, accel):
+    """numpy and stdlib kernels must produce identical machines."""
+    monkeypatch.setenv("REPRO_ACCEL", accel)
+    outcomes, stats = run_triplet(
+        lambda: HammerWorkload(aggressors=2, think_cycles=120, seed=5),
+        threshold_min=20_000,
+        max_cycles=5_000_000,
+    )
+    assert stats.engaged
+    assert stats.laps_skipped > 0
+    if accel == "0":
+        assert stats.accel == "stdlib"
+    assert_equivalent(outcomes)
