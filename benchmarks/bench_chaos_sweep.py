@@ -39,6 +39,7 @@ Run standalone::
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -156,7 +157,7 @@ def run_fleet(horizon: float) -> int:
         for proc in procs:
             try:
                 proc.wait(timeout=10)
-            except Exception:
+            except subprocess.TimeoutExpired:
                 proc.kill()
 
     lines = [

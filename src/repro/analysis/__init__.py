@@ -1,4 +1,5 @@
-"""Result analysis and paper-style presentation helpers."""
+"""Result analysis, paper-style presentation helpers, and the
+determinism/equivalence static-analysis suite (:mod:`repro.analysis.lint`)."""
 
 from .metrics import geomean, normalized_times_summary, percent
 from .tables import format_figure_series, format_table
@@ -9,4 +10,15 @@ __all__ = [
     "geomean",
     "normalized_times_summary",
     "percent",
+    "run_lint",
 ]
+
+
+def __getattr__(name: str):
+    # The lint engine is imported lazily so `import repro.analysis` on the
+    # hot result-presentation path never pays for the AST machinery.
+    if name == "run_lint":
+        from .lint import run_lint
+
+        return run_lint
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

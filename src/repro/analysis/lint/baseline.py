@@ -1,0 +1,84 @@
+"""The committed lint baseline: grandfathered findings.
+
+A baseline entry pairs a finding fingerprint (see
+:mod:`repro.analysis.lint.findings`) with a human justification.  Active
+findings whose fingerprint appears in the baseline do not block the
+build; entries whose fingerprint no longer matches anything are *stale*
+and reported so the file shrinks as debt is paid down.  The baseline is
+JSON, committed at the repo root (``.repro-lint-baseline.json``), and is
+expected to be empty on a healthy tree — it exists so a new rule can land
+as a blocking CI gate without requiring every historical violation to be
+fixed in the same change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """An unreadable or structurally invalid baseline file."""
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline file."""
+
+    path: str = ""
+    entries: list[dict] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> set[str]:
+        return {str(entry.get("fingerprint", "")) for entry in self.entries}
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding], list[dict]]:
+        """Partition ``findings`` into (blocking, baselined) and return the
+        stale baseline entries as the third element."""
+        known = self.fingerprints
+        blocking = [f for f in findings if f.fingerprint not in known]
+        baselined = [f for f in findings if f.fingerprint in known]
+        matched = {f.fingerprint for f in baselined}
+        stale = [e for e in self.entries if str(e.get("fingerprint", "")) not in matched]
+        return blocking, baselined, stale
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load ``path``; raises :class:`BaselineError` on malformed content."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} must be an object with version={BASELINE_VERSION}"
+        )
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list) or not all(isinstance(e, dict) for e in entries):
+        raise BaselineError(f"baseline {path} 'findings' must be a list of objects")
+    return Baseline(path=str(path), entries=entries)
+
+
+def save_baseline(path: str | Path, findings: list[Finding],
+                  justification: str = "grandfathered; fix or justify") -> None:
+    """Write ``findings`` as a fresh baseline at ``path``."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint, "rule": f.rule, "code": f.code,
+            "path": f.path, "line": f.line, "message": f.message,
+            "justification": justification,
+        }
+        for f in findings
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

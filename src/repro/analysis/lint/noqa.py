@@ -1,0 +1,50 @@
+"""``# repro: noqa[RULE]`` suppression comments.
+
+A violation is suppressed when its line carries a repro noqa comment that
+either names no rules (blanket) or names the finding's rule family
+(``DET``) or exact code (``DET003``).  The marker is deliberately
+namespaced (``repro:``) so it never collides with flake8/ruff ``noqa``
+semantics, and rule lists are explicit so a suppression documents *what*
+invariant is being waived at that site.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+#: Sentinel for a blanket (rule-less) suppression.
+ALL_RULES = "*"
+
+
+def suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map of 1-based line number -> suppressed rule tokens.
+
+    Tokens are upper-cased rule families or codes; a blanket ``noqa``
+    yields ``{ALL_RULES}``.
+    """
+    out: dict[int, frozenset[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            out[i] = frozenset((ALL_RULES,))
+        else:
+            out[i] = frozenset(
+                token.strip().upper() for token in rules.split(",") if token.strip()
+            )
+    return out
+
+
+def is_suppressed(rule: str, code: str, line: int, noqa: dict[int, frozenset[str]]) -> bool:
+    tokens = noqa.get(line)
+    if not tokens:
+        return False
+    return ALL_RULES in tokens or rule.upper() in tokens or code.upper() in tokens

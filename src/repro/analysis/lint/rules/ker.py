@@ -1,0 +1,58 @@
+"""KER — the batch kernels stay integer-exact.
+
+``repro.sim.kernels`` promises that its numpy and stdlib implementations
+return bit-identical values, which only holds while every kernel is pure
+integer arithmetic: one float literal, one true division, or one
+``math.*`` call and the two backends can disagree in the last ulp —
+which the sweep cache would then happily serve cross-engine.  Float
+accumulation that *must* exist (DRAM disturbance) lives outside this
+module by design.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from .base import LintContext, Rule
+
+
+class KerRule(Rule):
+    FAMILY = "KER"
+
+    def run(self, ctx: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for src in ctx.parsed():
+            if not (ctx.config.det_all or src.endswith(ctx.config.ker_suffixes)):
+                continue
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.Constant) and type(node.value) is float:
+                    findings.append(Finding(
+                        rule=self.FAMILY, code="KER001", path=src.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message=f"float literal {node.value!r} in an "
+                                "integer-exact kernel module",
+                        hint="kernels must be pure integer arithmetic; move "
+                             "float math to the caller",
+                    ))
+                elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                    findings.append(Finding(
+                        rule=self.FAMILY, code="KER002", path=src.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message="true division (/) in an integer-exact "
+                                "kernel module",
+                        hint="use floor division (//) or restructure to "
+                             "avoid division",
+                    ))
+                elif (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "math"):
+                    findings.append(Finding(
+                        rule=self.FAMILY, code="KER003", path=src.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message=f"math.{node.func.attr}() in an integer-exact "
+                                "kernel module",
+                        hint="math.* returns floats; keep kernels integral",
+                    ))
+        return findings

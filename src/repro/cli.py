@@ -10,6 +10,9 @@ Commands map onto the library's headline capabilities:
 - ``cache`` — scrub (``verify``, exits nonzero when corruption is found)
   or empty (``clear``) the sweep result cache; corrupt entries are
   quarantined so they never poison a sweep;
+- ``lint`` — the determinism & engine-equivalence static-analysis suite
+  (exits nonzero on any non-baselined finding, mirroring ``cache
+  verify``; see :mod:`repro.analysis.lint`);
 - ``worker`` — serve sweep cells over TCP (``worker serve``) for the
   multi-host fleet backend;
 - ``info`` — the simulated machine's configuration.
@@ -31,6 +34,7 @@ import sys
 from typing import Sequence
 
 from .analysis import format_table
+from .analysis.lint import cli as lint_cli
 from .attacks import (
     ClflushFreeAttack,
     DoubleSidedClflushAttack,
@@ -158,6 +162,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "cache, benchmarks/results/.cache)")
     cache.add_argument("--no-repair", action="store_true",
                        help="report corrupt entries without quarantining")
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & engine-equivalence static analysis (CI gate)")
+    lint_cli.add_arguments(lint)
 
     probe = sub.add_parser("probe-policy",
                            help="reverse-engineer the LLC replacement policy")
@@ -400,6 +409,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "defense-grid": _cmd_defense_grid,
         "spec-overhead": _cmd_spec_overhead,
         "cache": _cmd_cache,
+        "lint": lint_cli.run,
         "probe-policy": _cmd_probe_policy,
         "worker": _cmd_worker,
         "info": _cmd_info,

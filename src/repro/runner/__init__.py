@@ -44,7 +44,7 @@ from .backends import (
     WorkerHealth,
     make_backend,
 )
-from .cache import ResultCache, code_fingerprint
+from .cache import ResultCache, code_fingerprint, invalidate_fingerprints
 from .checkpoint import SweepJournal, sweep_id
 from .faults import (
     Fault,
@@ -106,6 +106,7 @@ __all__ = [
     "default_jobs",
     "default_workers",
     "derive_seed",
+    "invalidate_fingerprints",
     "make_backend",
     "parse_failure_policy",
     "permanent_cells",

@@ -30,8 +30,12 @@ from ..errors import CacheCorruptionError
 from ..sim import kernels
 from .seeding import stable_digest
 
-#: Memoised source fingerprints, keyed by directory/file path.
-_fingerprints: dict[str, str] = {}
+#: Memoised source fingerprints, keyed by directory/file path.  Each
+#: entry pairs the digest with the stat signature (mtimes + sizes) it was
+#: computed from, so a long-lived process re-hashes exactly when sources
+#: change on disk instead of serving a stale fingerprint forever (the
+#: future service mode must never serve cache hits against edited code).
+_fingerprints: dict[str, tuple[tuple, str]] = {}
 
 #: Entry format: MAGIC + sha256(payload)[:CHECKSUM_BYTES] + payload.
 MAGIC = b"RPRC1\n"
@@ -49,34 +53,84 @@ def _hash_tree(root: Path) -> str:
     return digest.hexdigest()
 
 
+def _tree_signature(root: Path) -> tuple:
+    """Cheap change detector for a source tree: sorted (relpath,
+    mtime_ns, size) triples.  An ``os.stat`` walk per call instead of a
+    full re-hash; any edit, addition, or deletion changes it."""
+    signature = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        signature.append((str(path.relative_to(root)), st.st_mtime_ns, st.st_size))
+    return tuple(signature)
+
+
+def _tree_fingerprint(root: Path) -> str:
+    """The content digest of ``root``, memoised against its stat signature."""
+    key = str(root)
+    signature = _tree_signature(root)
+    memo = _fingerprints.get(key)
+    if memo is not None and memo[0] == signature:
+        return memo[1]
+    digest = _hash_tree(root)
+    _fingerprints[key] = (signature, digest)
+    return digest
+
+
+def _file_fingerprint(path_str: str) -> str:
+    """The content digest of one file, memoised against (mtime, size)."""
+    try:
+        st = os.stat(path_str)
+        signature = ((st.st_mtime_ns, st.st_size),)
+    except OSError:
+        signature = (("missing",),)
+    memo = _fingerprints.get(path_str)
+    if memo is not None and memo[0] == signature:
+        return memo[1]
+    try:
+        digest = hashlib.sha256(Path(path_str).read_bytes()).hexdigest()
+    except OSError:
+        digest = "unreadable"
+    _fingerprints[path_str] = (signature, digest)
+    return digest
+
+
+def invalidate_fingerprints(path: str | os.PathLike | None = None) -> None:
+    """Drop memoised code fingerprints (all of them, or one path's).
+
+    The memo self-invalidates on mtime/size changes; this is the explicit
+    big hammer for callers that need a guaranteed re-hash (a service mode
+    reloading code, or tests that rewrite sources in place within the
+    filesystem's mtime granularity)."""
+    if path is None:
+        _fingerprints.clear()
+    else:
+        _fingerprints.pop(str(path), None)
+
+
 def code_fingerprint(extra_module_file: str | None = None) -> str:
     """Hex digest of the ``repro`` sources (+ one extra module's source),
     suffixed with the active execution engine and kernel mode.
 
-    The source tree is hashed once per process per path; the engine/accel
-    suffix is re-read per call (``REPRO_ENGINE`` / ``REPRO_ACCEL`` plus
-    numpy's presence and version), so cache entries produced under
-    different engines or kernel backends never alias even though all
-    engines promise bit-identical results — a fingerprint mismatch is a
-    recompute, never a wrong answer.
+    The source tree digest is memoised per path against a stat signature
+    (every file's mtime + size), so a long-lived process that edits — or
+    hot-reloads — sources gets a fresh fingerprint on the next call
+    rather than serving stale cache hits; :func:`invalidate_fingerprints`
+    forces it.  The engine/accel suffix is re-read per call
+    (``REPRO_ENGINE`` / ``REPRO_ACCEL`` plus numpy's presence and
+    version), so cache entries produced under different engines or kernel
+    backends never alias even though all engines promise bit-identical
+    results — a fingerprint mismatch is a recompute, never a wrong
+    answer.
     """
     package_root = Path(__file__).resolve().parent.parent
-    key = str(package_root)
-    tree = _fingerprints.get(key)
-    if tree is None:
-        tree = _hash_tree(package_root)
-        _fingerprints[key] = tree
+    tree = _tree_fingerprint(package_root)
     mode = f"{kernels.engine_mode()}-{kernels.accel_signature()}"
     if not extra_module_file:
         return f"{tree}-{mode}"
-    extra = _fingerprints.get(extra_module_file)
-    if extra is None:
-        try:
-            extra = hashlib.sha256(Path(extra_module_file).read_bytes()).hexdigest()
-        except OSError:
-            extra = "unreadable"
-        _fingerprints[extra_module_file] = extra
-    return f"{tree}-{extra}-{mode}"
+    return f"{tree}-{_file_fingerprint(extra_module_file)}-{mode}"
 
 
 def encode_entry(value: Any) -> bytes:

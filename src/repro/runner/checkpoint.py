@@ -23,6 +23,7 @@ import base64
 import json
 import os
 import pickle
+import warnings
 from pathlib import Path
 from typing import IO, Iterable
 
@@ -45,6 +46,8 @@ class SweepJournal:
         self.path = Path(path)
         self._fh: IO[str] | None = None
         self._active_id: str | None = None
+        #: Undecodable records skipped by the most recent :meth:`load`.
+        self.skipped_records = 0
 
     # -- reading -----------------------------------------------------------------
 
@@ -57,6 +60,7 @@ class SweepJournal:
         records, so a torn or undecodable line is skipped without
         affecting the entries around it.
         """
+        self.skipped_records = 0
         try:
             text = self.path.read_text(encoding="utf-8")
         except OSError:
@@ -83,7 +87,17 @@ class SweepJournal:
             try:
                 value = pickle.loads(base64.b64decode(record["value"]))
                 key = record["key"]
-            except Exception:
+            except Exception as exc:
+                # Unpickling runs arbitrary __setstate__ code, so the
+                # breadth is unavoidable — but the skip must be loud:
+                # an undecodable record is journal corruption, and the
+                # cell silently recomputing would mask it.
+                self.skipped_records += 1
+                warnings.warn(
+                    f"skipping undecodable journal record in {self.path}: "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning, stacklevel=2,
+                )
                 continue
             done[key] = JobResult(
                 key=key, value=value, seed=record.get("seed"),

@@ -34,6 +34,7 @@ each dispatched payload; :func:`trip` executes it on the worker side.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import random
 import time
@@ -185,11 +186,20 @@ class FaultInjector:
         )
 
     def corrupt_entry(self, cache, cache_key: str) -> bool:
-        """Overwrite ``cache_key``'s on-disk entry with garbage bytes."""
+        """Overwrite ``cache_key``'s on-disk entry with garbage bytes.
+
+        The garbage is derived from the cache key, not drawn from
+        ``os.urandom``: fault injection is part of the deterministic
+        sweep contract, so even the corruption bytes are a pure function
+        of the plan (DET invariant).
+        """
         path = cache.path_for(cache_key)
         if not path.exists():
             return False
-        path.write_bytes(b"\x00injected-corruption\x00" + os.urandom(8))
+        garbage = hashlib.sha256(
+            b"injected-corruption\x00" + cache_key.encode("utf-8")
+        ).digest()[:8]
+        path.write_bytes(b"\x00injected-corruption\x00" + garbage)
         return True
 
 

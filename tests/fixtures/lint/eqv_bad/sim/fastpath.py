@@ -1,0 +1,9 @@
+"""Fixture mirror engine that covers every observable (clean)."""
+
+from .machine import RunResult
+
+
+def run_fast(n):
+    result = RunResult(cycles=n, ops=n)
+    result.phantom_counter = n * 2
+    return result

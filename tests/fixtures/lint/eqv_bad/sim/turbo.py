@@ -1,0 +1,8 @@
+"""Fixture mirror engine missing the phantom observable (EQV001)."""
+
+from .machine import RunResult
+
+
+def run_turbo(n):
+    result = RunResult(cycles=n, ops=n)
+    return result

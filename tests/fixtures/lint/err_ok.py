@@ -1,0 +1,31 @@
+"""Fixture: broad handlers that visibly do something with the failure."""
+
+import warnings
+
+
+def reraise(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc
+
+
+def degrade(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        return {"ok": False, "error": str(exc)}
+
+
+def record(fn, sink):
+    try:
+        return fn()
+    except Exception as exc:
+        warnings.warn(f"recorded: {exc}", RuntimeWarning, stacklevel=2)
+
+
+def narrow(fn):
+    try:
+        return fn()
+    except OSError:
+        pass

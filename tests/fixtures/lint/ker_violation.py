@@ -1,0 +1,19 @@
+"""Fixture: float leakage in an integer-exact kernel module."""
+
+import math
+
+
+def bad_scale(x):
+    return x * 1.5  # KER001
+
+
+def bad_ratio(a, b):
+    return a / b  # KER002
+
+
+def bad_root(x):
+    return math.isqrt(x) + math.sqrt(x)  # KER003 (math.* calls)
+
+
+def good_kernel(a, b):
+    return (a * b) // 2 + (a ^ b)

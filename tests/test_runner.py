@@ -343,3 +343,67 @@ def test_jobresult_equality_ignores_bookkeeping():
     failed = JobResult(key="k", value=None, seed=2, ok=False,
                        error="boom", error_type="RuntimeError")
     assert failed != JobResult(key="k", value=None, seed=2)
+
+
+# -- code fingerprint staleness ----------------------------------------------
+
+
+def test_file_fingerprint_tracks_edits(tmp_path):
+    from repro.runner.cache import _file_fingerprint, invalidate_fingerprints
+
+    target = tmp_path / "cell_mod.py"
+    target.write_text("X = 1\n")
+    first = _file_fingerprint(str(target))
+    # Unchanged file: the memo serves the same digest.
+    assert _file_fingerprint(str(target)) == first
+
+    # An edit must produce a fresh digest even in the same process (the
+    # memo self-invalidates on the stat signature, not on process start).
+    os.utime(target, ns=(1, 1))  # force a distinct mtime regardless of clock
+    target.write_text("X = 2\n")
+    second = _file_fingerprint(str(target))
+    assert second != first
+
+    # Reverting the content reverts the digest (content-addressed).
+    target.write_text("X = 1\n")
+    os.utime(target, ns=(2, 2))
+    assert _file_fingerprint(str(target)) == first
+    invalidate_fingerprints(str(target))
+    assert _file_fingerprint(str(target)) == first
+
+
+def test_tree_fingerprint_tracks_edits(tmp_path):
+    from repro.runner.cache import _tree_fingerprint, invalidate_fingerprints
+
+    root = tmp_path / "pkg"
+    (root / "sub").mkdir(parents=True)
+    (root / "a.py").write_text("A = 1\n")
+    (root / "sub" / "b.py").write_text("B = 1\n")
+    first = _tree_fingerprint(root)
+    assert _tree_fingerprint(root) == first
+
+    # Editing any file in the tree changes the digest...
+    (root / "sub" / "b.py").write_text("B = 2\n")
+    os.utime(root / "sub" / "b.py", ns=(1, 1))
+    second = _tree_fingerprint(root)
+    assert second != first
+    # ...and so does adding a new one (the signature covers membership).
+    (root / "c.py").write_text("C = 1\n")
+    assert _tree_fingerprint(root) not in (first, second)
+
+    invalidate_fingerprints()  # the big hammer clears every memo entry
+    from repro.runner.cache import _fingerprints
+    assert str(root) not in _fingerprints
+
+
+def test_code_fingerprint_reflects_extra_module_edit(tmp_path):
+    from repro.runner import code_fingerprint
+
+    extra = tmp_path / "extra_cell.py"
+    extra.write_text("def cell():\n    return 1\n")
+    first = code_fingerprint(str(extra))
+    assert code_fingerprint(str(extra)) == first
+
+    extra.write_text("def cell():\n    return 2\n")
+    os.utime(extra, ns=(1, 1))
+    assert code_fingerprint(str(extra)) != first
