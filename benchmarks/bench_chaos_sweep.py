@@ -18,6 +18,16 @@ permanent cell error exercising the failure manifest.  Gated on the
 survivor results being bit-identical to the clean serial run and on the
 crashed worker process actually having died with the injected exit code.
 
+``--prefix`` runs the *prefix* chaos tier: a warm-start grid (every
+cell forks a shared machine-warmup :class:`Prefix`) on the same
+two-subprocess fleet, with a crash fault that fires **during the prefix
+stage** — the worker dies mid-warmup, before any cell code runs.  The
+runner must charge the attempt, re-dispatch on the survivor, and finish
+with results bit-identical to cold serial execution
+(``REPRO_SNAPSHOT=0``).  A second grid whose prefix returns an
+unsnapshotable context proves the cold-fallback path: the sweep
+completes with zero snapshot stores and no errors.
+
 Asserted on every run:
 
 - the chaos sweep completes (no exception escapes);
@@ -39,6 +49,7 @@ Run standalone::
 from __future__ import annotations
 
 import argparse
+import os
 import subprocess
 import sys
 import time
@@ -54,11 +65,14 @@ from repro.runner import (
     Fault,
     FaultPlan,
     Job,
+    Prefix,
     RetryPolicy,
+    SNAPSHOT_ENV,
     SweepRunner,
     derive_seed,
     spawn_worker_process,
 )
+from repro.runner.backends.base import _reset_prefix_memo
 from repro.runner.faults import CRASH_EXIT_CODE
 from repro.sim.epoch import run_epoch_cell
 from repro.workloads import SPEC2006_INT
@@ -187,6 +201,150 @@ def run_fleet(horizon: float) -> int:
     return 0
 
 
+def opaque_prefix(warm_cycles: int, seed: int = 0):
+    """A warm context the snapshot layer must refuse: the machine drags
+    along an unpicklable attribute, so every cell falls back to cold
+    per-cell prefix execution (which never serialises the context)."""
+    from bench_perf_sweep import warm_prefix
+
+    machine = warm_prefix(20_000, warm_cycles, seed)
+    machine.chaos_probe = lambda: None  # unpicklable on purpose
+    return machine
+
+
+def prefix_grid(warm_cycles: int, tail_cycles: int, n_cells: int,
+                fn: str = "bench_perf_sweep:warm_prefix") -> list[Job]:
+    pre = Prefix.of(fn, **(
+        {"threshold_min": 20_000, "warm_cycles": warm_cycles}
+        if fn.endswith("warm_prefix") else {"warm_cycles": warm_cycles}))
+    return [
+        Job.of("bench_perf_sweep:warm_tail_cell", key=f"prefix-chaos/{think}",
+               prefix=pre, think_cycles=think, tail_cycles=tail_cycles)
+        for think in range(120, 120 + 24 * n_cells, 24)
+    ]
+
+
+def run_prefix_tier(smoke: bool) -> int:
+    """The prefix chaos tier: kill a worker *during the warmup stage*.
+
+    The cold serial reference runs with snapshots disabled — the
+    semantic baseline every warm-started, fault-recovered sweep must
+    match bit for bit.
+    """
+    if smoke:
+        warm_cycles, tail_cycles, n_cells = 800_000, 150_000, 4
+    else:
+        warm_cycles, tail_cycles, n_cells = 4_000_000, 300_000, 6
+    cells = prefix_grid(warm_cycles, tail_cycles, n_cells)
+
+    os.environ[SNAPSHOT_ENV] = "0"
+    try:
+        _reset_prefix_memo()
+        clean = SweepRunner(jobs=1, root_seed=ROOT_SEED, cache=None).run(cells)
+    finally:
+        os.environ.pop(SNAPSHOT_ENV, None)
+    clean_by_key = {r.key: r for r in clean}
+
+    try:
+        workers = [spawn_worker_process(), spawn_worker_process()]
+    except (OSError, ValueError) as exc:
+        print(f"fleet workers unavailable ({exc}); skipping prefix tier")
+        return 0
+    procs = [proc for proc, _addr in workers]
+    addresses = [addr for _proc, addr in workers]
+
+    plan = FaultPlan.of(
+        Fault("crash", 0, attempts=(1,), stage="prefix"),
+    )
+    runner = SweepRunner(
+        root_seed=ROOT_SEED, cache=None, policy="degrade",
+        backend="tcp", workers=addresses,
+        retry=RetryPolicy(max_attempts=3, backoff_base_s=0.05),
+        fault_plan=plan,
+    )
+    try:
+        _reset_prefix_memo()
+        results = runner.run(cells)
+        stats = runner.last_stats
+
+        assert len(results) == len(cells), "prefix tier must complete"
+        assert all(r.ok for r in results), (
+            f"no cell may fail: {[r.key for r in results if not r.ok]}"
+        )
+        assert all(r == clean_by_key[r.key] for r in results), (
+            "fault-recovered warm results must match the cold serial run"
+        )
+        assert stats["workers_lost"] >= 1, (
+            "the prefix-stage crash must cost the fleet a worker"
+        )
+        assert stats["retries"] >= 1, "the crashed cell must be retried"
+        assert stats["prefix_groups"] == 1, stats
+
+        deadline = time.monotonic() + 10.0
+        codes: list[int | None] = []
+        while time.monotonic() < deadline:
+            codes = [proc.poll() for proc in procs]
+            if CRASH_EXIT_CODE in codes:
+                break
+            time.sleep(0.1)
+        assert CRASH_EXIT_CODE in codes, (
+            f"no worker died mid-prefix with exit code {CRASH_EXIT_CODE}: "
+            f"{codes}"
+        )
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    # Cold fallback: an unsnapshotable warm context degrades silently.
+    fallback_cells = prefix_grid(warm_cycles // 2, tail_cycles, 2,
+                                 fn="bench_chaos_sweep:opaque_prefix")
+    os.environ[SNAPSHOT_ENV] = "0"
+    try:
+        _reset_prefix_memo()
+        fallback_clean = SweepRunner(
+            jobs=1, root_seed=ROOT_SEED, cache=None).run(fallback_cells)
+    finally:
+        os.environ.pop(SNAPSHOT_ENV, None)
+    _reset_prefix_memo()
+    fallback_runner = SweepRunner(jobs=1, root_seed=ROOT_SEED, cache=None)
+    fallback = fallback_runner.run(fallback_cells)
+    assert fallback == fallback_clean, "cold fallback must match cold serial"
+    assert all(r.ok for r in fallback), "cold fallback must not error"
+    assert fallback_runner.last_stats["snapshot_stores"] == 0
+
+    lines = [
+        f"prefix chaos: {len(cells)} warm-start cells, 1 shared prefix, "
+        "2 loopback TCP workers",
+        f"fault: crash@{cells[0].key} during the PREFIX stage (attempt 1)",
+        f"recovery: workers_lost={stats['workers_lost']} "
+        f"retries={stats['retries']} prefix_groups={stats['prefix_groups']}",
+        f"results: {len(results)}/{len(cells)} bit-identical to cold serial "
+        f"(REPRO_SNAPSHOT=0); crashed worker exited {CRASH_EXIT_CODE}",
+        f"cold fallback: {len(fallback)} cells with an unsnapshotable "
+        "prefix completed, 0 snapshot stores",
+    ]
+    text = "\n".join(lines) + "\n"
+    print(text)
+    publish("chaos_prefix", text, data={
+        "cells": len(cells),
+        "warm_cycles": warm_cycles,
+        "workers_lost": stats["workers_lost"],
+        "retries": stats["retries"],
+        "prefix_groups": stats["prefix_groups"],
+        "results_equal": True,
+        "fallback_cells": len(fallback),
+        "fallback_equal": True,
+        "crash_exit_code": CRASH_EXIT_CODE,
+    })
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -199,11 +357,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the TCP fleet chaos tier (two loopback "
                              "workers, one killed mid-sweep) instead of "
                              "the pool tier")
+    parser.add_argument("--prefix", action="store_true",
+                        help="run the prefix chaos tier (warm-start grid, "
+                             "worker killed during the shared prefix stage) "
+                             "instead of the pool tier")
     args = parser.parse_args(argv)
 
     horizon = 3.0 if args.smoke else args.horizon
     if args.fleet:
         return run_fleet(horizon)
+    if args.prefix:
+        return run_prefix_tier(args.smoke)
     cells = sweep_jobs(horizon)
     assert len(cells) > max(CRASH_CELL, HANG_CELL, ERROR_CELL)
 
@@ -287,6 +451,11 @@ def test_chaos_smoke():
 def test_fleet_chaos_smoke():
     """Pytest entry: TCP fleet sweep with a worker killed mid-run."""
     assert main(["--smoke", "--fleet"]) == 0
+
+
+def test_prefix_chaos_smoke():
+    """Pytest entry: warm-start sweep with a worker killed mid-prefix."""
+    assert main(["--smoke", "--prefix"]) == 0
 
 
 if __name__ == "__main__":

@@ -101,6 +101,7 @@ class LintConfig:
         "repro/runner/checkpoint.py",
         "repro/runner/job.py",
         "repro/runner/backends/wire.py",
+        "repro/sim/snapshot.py",
     )
 
     # -- EQV: engine observable parity -----------------------------------------

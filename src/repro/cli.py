@@ -345,8 +345,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     report = cache.verify(repair=not args.no_repair)
     print(f"cache scrub of {report['directory']}")
-    print(f"  entries checked : {report['checked']}")
-    print(f"  intact          : {report['ok']}")
+    print(f"  entries checked : {report['checked']}"
+          f" (snapshots: {report['snapshots_checked']})")
+    print(f"  intact          : {report['ok']}"
+          f" (snapshots: {report['snapshots_ok']})")
     print(f"  corrupt         : {len(report['corrupt'])}")
     print(f"  quarantined     : {report['quarantined']}")
     for key in report["corrupt"]:

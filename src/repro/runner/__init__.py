@@ -33,6 +33,7 @@ Quick form::
 
 from .backends import (
     BACKENDS,
+    SNAPSHOT_ENV,
     BackendUnavailableError,
     CellTask,
     ExecutorBackend,
@@ -43,6 +44,7 @@ from .backends import (
     TransientSubmitError,
     WorkerHealth,
     make_backend,
+    snapshots_enabled,
 )
 from .cache import ResultCache, code_fingerprint, invalidate_fingerprints
 from .checkpoint import SweepJournal, sweep_id
@@ -55,7 +57,15 @@ from .faults import (
     InjectedPartitionError,
     permanent_cells,
 )
-from .job import Job, JobResult, callable_spec, resolve_callable, run_job
+from .job import (
+    Job,
+    JobResult,
+    Prefix,
+    callable_spec,
+    resolve_callable,
+    run_job,
+    run_prefix,
+)
 from .policy import DEGRADE, FAILURE_POLICIES, STRICT, RetryPolicy, parse_failure_policy
 from .runner import (
     BACKEND_ENV,
@@ -87,9 +97,11 @@ __all__ = [
     "JOBS_ENV",
     "Job",
     "JobResult",
+    "Prefix",
     "ProcessPoolBackend",
     "ResultCache",
     "RetryPolicy",
+    "SNAPSHOT_ENV",
     "STRICT",
     "SerialBackend",
     "SweepJournal",
@@ -112,7 +124,9 @@ __all__ = [
     "permanent_cells",
     "resolve_callable",
     "run_job",
+    "run_prefix",
     "serve_worker",
+    "snapshots_enabled",
     "spawn_worker_process",
     "stable_digest",
     "stable_hash",

@@ -20,6 +20,7 @@ from .base import (
     OUTCOME_KINDS,
     REJECTED,
     REQUEUED,
+    SNAPSHOT_ENV,
     BackendUnavailableError,
     CellTask,
     ExecutorBackend,
@@ -28,6 +29,7 @@ from .base import (
     WorkerHealth,
     normalize_addresses,
     run_task,
+    snapshots_enabled,
 )
 from .process import ProcessPoolBackend
 from .serial import SerialBackend
@@ -81,6 +83,7 @@ __all__ = [
     "ProcessPoolBackend",
     "REJECTED",
     "REQUEUED",
+    "SNAPSHOT_ENV",
     "SerialBackend",
     "TaskOutcome",
     "TcpFleetBackend",
@@ -89,4 +92,5 @@ __all__ = [
     "make_backend",
     "normalize_addresses",
     "run_task",
+    "snapshots_enabled",
 ]

@@ -48,13 +48,15 @@ registered backend.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
-from ...errors import ReproError
+from ...errors import ReproError, SnapshotError, SnapshotUnsupportedError
+from ...sim.snapshot import restore_value, snapshot_value
 from ..faults import trip
-from ..job import Job, run_job
+from ..job import Job, run_job, run_prefix
 
 #: Outcome kinds (see the table in the module docstring).
 OK = "ok"
@@ -81,18 +83,36 @@ class TransientSubmitError(ReproError):
 @dataclass(frozen=True)
 class CellTask:
     """One dispatched cell attempt: the job, its derived seed, and the
-    (optional, picklable) fault spec that must trip before the body."""
+    (optional, picklable) fault spec that must trip before the body.
+
+    Prefixed jobs additionally carry the prefix's derived seed, its
+    sharing-group digest (identical ``(fn, params, seed)`` ⇒ identical
+    group), an optional pre-restored snapshot blob (how warm contexts
+    cross the process pickle boundary and the TCP wire), and an optional
+    fault spec that trips only when the prefix actually executes freshly
+    on the worker (never on a snapshot restore).
+    """
 
     task_id: int
     index: int
     job: Job
     seed: int | None
     fault_spec: tuple | None = None
+    prefix_seed: int | None = None
+    prefix_group: str | None = None
+    prefix_blob: bytes | None = None
+    prefix_fault_spec: tuple | None = None
 
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """One completed/settled task as reported by a backend."""
+    """One completed/settled task as reported by a backend.
+
+    ``prefix_blob`` is the snapshot a worker produced while executing a
+    prefix stage freshly — the runner persists it to the snapshot cache
+    and attaches it to later tasks of the same group, so each distinct
+    prefix executes at most once per worker (and usually once per sweep).
+    """
 
     task_id: int
     kind: str
@@ -100,6 +120,7 @@ class TaskOutcome:
     duration_s: float = 0.0
     error: str | None = None
     error_type: str | None = None
+    prefix_blob: bytes | None = None
 
 
 @dataclass
@@ -114,18 +135,106 @@ class WorkerHealth:
     detail: str = ""
 
 
-def run_task(task: CellTask, in_worker: bool) -> tuple[Any, float]:
+#: Opt-out knob for the snapshot/warm-start machinery.  Re-read per call
+#: (like ``REPRO_ACCEL``): ``REPRO_SNAPSHOT=0`` makes every cell compute
+#: its prefix fresh — the cold path warm runs are gated against.
+SNAPSHOT_ENV = "REPRO_SNAPSHOT"
+
+_FALSY = ("0", "off", "false", "no")
+
+
+def snapshots_enabled() -> bool:
+    """Whether prefix snapshots are enabled (``REPRO_SNAPSHOT`` knob)."""
+    return os.environ.get(SNAPSHOT_ENV, "1").strip().lower() not in _FALSY
+
+
+#: Sentinel memo entry: this prefix group is known unsnapshotable on
+#: this worker — every member cell recomputes the prefix fresh (cold).
+_COLD = object()
+
+#: Worker-local memo: prefix group digest -> snapshot blob (or _COLD).
+#: Holds the *blob*, never the live context: cells mutate their context,
+#: so each one must fork a fresh copy via ``restore_value``.  Because a
+#: group digest is a pure function of (prefix fn, params, seed) and
+#: prefixes are deterministic, a stale-entry hazard cannot exist.
+_prefix_memo: dict[str, Any] = {}
+_PREFIX_MEMO_MAX = 8
+
+
+def _reset_prefix_memo() -> None:
+    """Drop the worker-local prefix memo (test isolation hook)."""
+    _prefix_memo.clear()
+
+
+def _memoize_prefix(group: str, entry: Any) -> None:
+    if group not in _prefix_memo and len(_prefix_memo) >= _PREFIX_MEMO_MAX:
+        _prefix_memo.pop(next(iter(_prefix_memo)))
+    _prefix_memo[group] = entry
+
+
+def _prefix_context(task: CellTask, in_worker: bool) -> tuple[Any, bytes | None]:
+    """The warm context for ``task``'s prefix, plus a snapshot blob to
+    report upstream when this call produced a fresh one.
+
+    Resolution order: worker-local memo → the blob the runner attached
+    (cache hit or a sibling worker's snapshot) → fresh execution.  A
+    fresh context is snapshotted so later group members fork from it; an
+    unsnapshotable context poisons the group to cold-per-cell instead of
+    erroring.  Corrupt blobs are detected (checksum) and recomputed.
+    """
+    prefix = task.job.prefix
+    if not snapshots_enabled():
+        return run_prefix(prefix, task.prefix_seed), None
+    group = task.prefix_group
+    if group is not None:
+        memo = _prefix_memo.get(group)
+        if memo is _COLD:
+            return run_prefix(prefix, task.prefix_seed), None
+        if memo is not None:
+            try:
+                return restore_value(memo), None
+            except SnapshotError:
+                _prefix_memo.pop(group, None)  # corrupt memo: recompute below
+        if task.prefix_blob is not None:
+            try:
+                ctx = restore_value(task.prefix_blob)
+            except SnapshotError:
+                pass  # corrupt attached blob: recompute below
+            else:
+                _memoize_prefix(group, task.prefix_blob)
+                return ctx, None
+    if task.prefix_fault_spec is not None:
+        trip(task.prefix_fault_spec, in_worker)
+    ctx = run_prefix(prefix, task.prefix_seed)
+    if group is None:
+        return ctx, None
+    try:
+        blob = snapshot_value(ctx)
+    except SnapshotUnsupportedError:
+        _memoize_prefix(group, _COLD)
+        return ctx, None
+    _memoize_prefix(group, blob)
+    return ctx, blob
+
+
+def run_task(task: CellTask, in_worker: bool) -> tuple[Any, float, bytes | None]:
     """Execute one cell attempt in the current process.
 
     Shared by every backend's execution site (serial, pool worker, fleet
     worker); the fault spec trips *before* the cell body, crashing,
-    raising, hanging, or partitioning as planned.
+    raising, hanging, or partitioning as planned.  Returns the cell
+    value, the wall-clock duration, and the prefix snapshot blob when
+    this attempt executed a prefix stage freshly (``None`` otherwise).
     """
     t0 = time.perf_counter()
     if task.fault_spec is not None:
         trip(task.fault_spec, in_worker)
-    value = run_job(task.job, task.seed)
-    return value, time.perf_counter() - t0
+    if task.job.prefix is None:
+        value = run_job(task.job, task.seed)
+        return value, time.perf_counter() - t0, None
+    ctx, blob = _prefix_context(task, in_worker)
+    value = run_job(task.job, task.seed, prefix_value=ctx)
+    return value, time.perf_counter() - t0, blob
 
 
 class ExecutorBackend:

@@ -164,7 +164,7 @@ class ProcessPoolBackend(ExecutorBackend):
         for fut in done:
             task = self._futures.pop(fut)
             try:
-                value, duration = fut.result()
+                value, duration, prefix_blob = fut.result()
             except BrokenProcessPool:
                 # The worker running this cell (or a sibling) died.
                 broken = True
@@ -191,7 +191,7 @@ class ProcessPoolBackend(ExecutorBackend):
                 self._done += 1
                 out.append(TaskOutcome(
                     task_id=task.task_id, kind=OK, value=value,
-                    duration_s=duration,
+                    duration_s=duration, prefix_blob=prefix_blob,
                 ))
         if broken:
             self._break_pool()

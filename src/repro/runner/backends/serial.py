@@ -38,7 +38,7 @@ class SerialBackend(ExecutorBackend):
             return []
         self._pending = None
         try:
-            value, duration = run_task(task, in_worker=False)
+            value, duration, prefix_blob = run_task(task, in_worker=False)
         except Exception as exc:
             self._failed += 1
             return [TaskOutcome(
@@ -48,6 +48,7 @@ class SerialBackend(ExecutorBackend):
         self._done += 1
         return [TaskOutcome(
             task_id=task.task_id, kind=OK, value=value, duration_s=duration,
+            prefix_blob=prefix_blob,
         )]
 
     def abandon(self, task_ids) -> None:

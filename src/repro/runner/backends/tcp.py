@@ -48,7 +48,9 @@ from .base import (
 from .wire import (
     PROTOCOL_VERSION,
     WireError,
+    decode_bytes,
     decode_value,
+    encode_bytes,
     encode_value,
     parse_address,
     recv_message,
@@ -174,6 +176,16 @@ class TcpFleetBackend(ExecutorBackend):
                 "op": "run", "task_id": task.task_id,
                 "job": encode_value(task.job), "seed": task.seed,
                 "fault": list(task.fault_spec) if task.fault_spec else None,
+                "prefix_seed": task.prefix_seed,
+                "prefix_group": task.prefix_group,
+                "prefix_blob": (
+                    encode_bytes(task.prefix_blob)
+                    if task.prefix_blob is not None else None
+                ),
+                "prefix_fault": (
+                    list(task.prefix_fault_spec)
+                    if task.prefix_fault_spec else None
+                ),
             }
         except Exception as exc:
             raise BackendUnavailableError(
@@ -259,10 +271,18 @@ class TcpFleetBackend(ExecutorBackend):
                     task_id=task.task_id, kind=REJECTED,
                     error=f"result undecodable: {exc}", error_type="WireError",
                 )
+            prefix_blob = None
+            blob_text = message.get("prefix")
+            if blob_text:
+                try:
+                    prefix_blob = decode_bytes(blob_text)
+                except (ValueError, TypeError):
+                    prefix_blob = None  # a bad blob is a lost optimisation, not a failure
             worker.tasks_done += 1
             return TaskOutcome(
                 task_id=task.task_id, kind=OK, value=value,
                 duration_s=float(message.get("duration_s", 0.0)),
+                prefix_blob=prefix_blob,
             )
         worker.tasks_failed += 1
         kind = REJECTED if message.get("reject") else ERROR

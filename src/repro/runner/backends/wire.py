@@ -15,9 +15,13 @@ direction    message
 runner→w     ``{"op": "hello", "version": 1, "path": [sys.path...]}``
 w→runner     ``{"op": "welcome", "version": 1, "pid": N, "host": "..."}``
 runner→w     ``{"op": "run", "task_id": N, "job": "<b64 pickle>",
-             "seed": N|null, "fault": [kind, ...]|null}``
+             "seed": N|null, "fault": [kind, ...]|null,
+             "prefix_seed": N|null, "prefix_group": "..."|null,
+             "prefix_blob": "<b64 snapshot>"|null,
+             "prefix_fault": [kind, ...]|null}``
 w→runner     ``{"op": "result", "task_id": N, "ok": true,
-             "value": "<b64 pickle>", "duration_s": F}``
+             "value": "<b64 pickle>", "duration_s": F,
+             "prefix": "<b64 snapshot>"?}``
 w→runner     ``{"op": "result", "task_id": N, "ok": false,
              "error_type": "...", "error": "...", "reject": bool}``
 runner→w     ``{"op": "ping", "token": N}`` / w→runner ``{"op": "pong", ...}``
@@ -65,6 +69,17 @@ def encode_value(value: Any) -> str:
 def decode_value(text: str) -> Any:
     """Inverse of :func:`encode_value`."""
     return pickle.loads(base64.b64decode(text))
+
+
+def encode_bytes(data: bytes) -> str:
+    """Base64 raw bytes (snapshot blobs — already self-checksummed, so
+    no pickle envelope) for embedding in a JSON message."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_bytes(text: str) -> bytes:
+    """Inverse of :func:`encode_bytes` (raises ``ValueError`` on junk)."""
+    return base64.b64decode(text.encode("ascii"), validate=True)
 
 
 def send_message(sock: socket.socket, message: dict) -> None:

@@ -73,12 +73,17 @@ class Fault:
     attempt numbers (1-based) on which the fault fires; ``None`` means
     *every* attempt — a permanent failure that must end up in the
     failure manifest.  ``hang_s`` only applies to ``"hang"`` faults.
+    ``stage="prefix"`` aims the fault at the cell's shared prefix stage
+    instead of the cell body: it trips only when the worker actually
+    executes the prefix freshly (never on a snapshot restore), so it
+    exercises the warm-start machinery's retry/fallback paths.
     """
 
     kind: str
     cell: int | str
     attempts: tuple[int, ...] | None = (1,)
     hang_s: float = 30.0
+    stage: str = "cell"
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -87,6 +92,8 @@ class Fault:
             raise ValueError("attempts must be a non-empty tuple or None (= always)")
         if self.hang_s <= 0:
             raise ValueError(f"hang_s must be positive, got {self.hang_s}")
+        if self.stage not in ("cell", "prefix"):
+            raise ValueError(f"stage must be 'cell' or 'prefix', got {self.stage!r}")
 
     def fires_on(self, attempt: int) -> bool:
         return self.attempts is None or attempt in self.attempts
@@ -172,7 +179,25 @@ class FaultInjector:
         self, index: int, key: str, attempt: int
     ) -> tuple | None:
         for fault in self.plan.faults_for(index, key):
-            if fault.kind == "corrupt" or not fault.fires_on(attempt):
+            if (fault.stage != "cell" or fault.kind == "corrupt"
+                    or not fault.fires_on(attempt)):
+                continue
+            self.tripped.append((key, fault.kind, attempt))
+            if fault.kind == "hang":
+                return ("hang", fault.hang_s)
+            return (fault.kind, key, attempt)
+        return None
+
+    def prefix_spec_for(
+        self, index: int, key: str, attempt: int
+    ) -> tuple | None:
+        """Like :meth:`spec_for`, for ``stage="prefix"`` faults.  The
+        spec rides as the task's ``prefix_fault_spec`` and only actually
+        trips when the prefix executes freshly on the worker (a snapshot
+        restore bypasses it — restoring cannot crash the warmup)."""
+        for fault in self.plan.faults_for(index, key):
+            if (fault.stage != "prefix" or fault.kind == "corrupt"
+                    or not fault.fires_on(attempt)):
                 continue
             self.tripped.append((key, fault.kind, attempt))
             if fault.kind == "hang":

@@ -68,13 +68,14 @@ from .backends import (
     make_backend,
     normalize_addresses,
     run_task,
+    snapshots_enabled,
 )
 from .cache import ResultCache, code_fingerprint
 from .checkpoint import SweepJournal, sweep_id
 from .faults import FaultInjector, FaultPlan
 from .job import Job, JobResult, resolve_callable
 from .policy import STRICT, RetryPolicy, parse_failure_policy
-from .seeding import derive_seed
+from .seeding import derive_seed, stable_digest
 
 #: Environment knob mirrored by the CLI/pytest ``--jobs`` options.
 JOBS_ENV = "REPRO_JOBS"
@@ -200,19 +201,42 @@ class SweepRunner:
             return job.seed
         return derive_seed(self.root_seed, job.key)
 
-    def _cache_key(self, job: Job, seed: int | None, memo: dict[str, str]) -> str:
-        fingerprint = memo.get(job.fn)
+    def _fingerprint_for(self, fn_spec: str, memo: dict[str, str]) -> str:
+        """The code fingerprint covering ``fn_spec``'s defining module
+        (memoised per spec for the duration of one run)."""
+        fingerprint = memo.get(fn_spec)
         if fingerprint is None:
-            module_name = job.fn.partition(":")[0]
+            module_name = fn_spec.partition(":")[0]
             module = sys.modules.get(module_name)
             if module is None:
-                module = resolve_callable(job.fn).__module__
+                module = resolve_callable(fn_spec).__module__
                 module = sys.modules.get(module)
             module_file = getattr(module, "__file__", None)
             fingerprint = code_fingerprint(module_file)
-            memo[job.fn] = fingerprint
+            memo[fn_spec] = fingerprint
+        return fingerprint
+
+    def _cache_key(self, job: Job, seed: int | None, memo: dict[str, str]) -> str:
+        fingerprint = self._fingerprint_for(job.fn, memo)
+        if (job.prefix is not None
+                and job.prefix.fn.partition(":")[0] != job.fn.partition(":")[0]):
+            # The cell's result depends on the prefix's code too; fold in
+            # its module fingerprint when it lives elsewhere.
+            fingerprint = (
+                f"{fingerprint}-{self._fingerprint_for(job.prefix.fn, memo)}"
+            )
         assert self.cache is not None
-        return self.cache.key_for(job.fn, job.params, seed, fingerprint)
+        return self.cache.key_for(
+            job.fn, job.params, seed, fingerprint, prefix=job.prefix,
+        )
+
+    def prefix_seed_for(self, prefix) -> int | None:
+        """The seed a prefix stage runs with (explicit, derived, None)."""
+        if not prefix.pass_seed:
+            return prefix.seed
+        if prefix.seed is not None:
+            return prefix.seed
+        return derive_seed(self.root_seed, prefix.key)
 
     # -- backend resolution -------------------------------------------------------
 
@@ -297,6 +321,45 @@ class SweepRunner:
             1 for r in results if r is not None and r.cached
         )
 
+        # Prefix sharing: group pending cells by identical (prefix fn,
+        # params, derived seed); prefetch each distinct group's snapshot
+        # from the cache so member cells fork instead of replaying the
+        # warmup.  Blobs produced by workers mid-sweep are added to
+        # ``blobs`` (and persisted) as they arrive.
+        prefix_seeds: list[int | None] = [None] * len(cells)
+        prefix_groups: list[str | None] = [None] * len(cells)
+        for i, job in enumerate(cells):
+            if job.prefix is None:
+                continue
+            pseed = self.prefix_seed_for(job.prefix)
+            prefix_seeds[i] = pseed
+            prefix_groups[i] = stable_digest(
+                "prefix-group", job.prefix.fn, job.prefix.params, pseed
+            )
+        prefix_ctx: dict[str, Any] = {
+            "seeds": prefix_seeds, "groups": prefix_groups,
+            "blobs": {}, "cache_keys": {}, "stored": set(),
+            "hits": 0, "misses": 0, "stores": 0,
+        }
+        if self.cache is not None and snapshots_enabled():
+            for i in pending:
+                group = prefix_groups[i]
+                if group is None or group in prefix_ctx["cache_keys"]:
+                    continue
+                prefix = cells[i].prefix
+                skey = self.cache.snapshot_key_for(
+                    prefix.fn, prefix.params, prefix_seeds[i],
+                    self._fingerprint_for(prefix.fn, fingerprint_memo),
+                )
+                prefix_ctx["cache_keys"][group] = skey
+                blob = self.cache.get_snapshot(skey)
+                if blob is self.cache.MISS:
+                    prefix_ctx["misses"] += 1
+                else:
+                    prefix_ctx["hits"] += 1
+                    prefix_ctx["blobs"][group] = blob
+                    prefix_ctx["stored"].add(group)
+
         def finish(i: int, result: JobResult) -> None:
             results[i] = result
             if not result.ok:
@@ -318,6 +381,7 @@ class SweepRunner:
             try:
                 mode = self._dispatch(
                     cells, seeds, pending, finish, injector, dispatch_stats,
+                    prefix_ctx,
                 )
             except KeyboardInterrupt:
                 # Completed cells are already journalled (flushed per
@@ -335,6 +399,10 @@ class SweepRunner:
             "mode": mode,
             "failures": len(failures),
             "failed": [r.key for r in failures],
+            "prefix_groups": len({g for g in prefix_groups if g is not None}),
+            "snapshot_hits": prefix_ctx["hits"],
+            "snapshot_misses": prefix_ctx["misses"],
+            "snapshot_stores": prefix_ctx["stores"],
             **dispatch_stats,
         }
 
@@ -362,6 +430,7 @@ class SweepRunner:
         finish: Callable[[int, JobResult], None],
         injector: FaultInjector | None,
         stats: dict[str, Any],
+        prefix_ctx: dict[str, Any] | None = None,
     ) -> str:
         """Execute ``pending`` cell indices on the resolved backend with
         retries/timeouts, reporting each completion through ``finish``;
@@ -398,10 +467,53 @@ class SweepRunner:
             stats["workers"] = max(1, backend.capacity)
         serial_backend = backend is not None and not backend.preemptible
 
+        if prefix_ctx is None:
+            prefix_ctx = {
+                "seeds": [None] * len(cells), "groups": [None] * len(cells),
+                "blobs": {}, "cache_keys": {}, "stored": set(),
+                "hits": 0, "misses": 0, "stores": 0,
+            }
+
         def spec_for(idx: int, attempt: int) -> tuple | None:
             if injector is None:
                 return None
             return injector.spec_for(idx, cells[idx].key, attempt)
+
+        def prefix_spec_for(idx: int, attempt: int) -> tuple | None:
+            if injector is None or cells[idx].prefix is None:
+                return None
+            return injector.prefix_spec_for(idx, cells[idx].key, attempt)
+
+        def make_task(idx: int, task_id: int) -> CellTask:
+            group = prefix_ctx["groups"][idx]
+            return CellTask(
+                task_id=task_id, index=idx, job=cells[idx], seed=seeds[idx],
+                fault_spec=spec_for(idx, attempts[idx]),
+                prefix_seed=prefix_ctx["seeds"][idx],
+                prefix_group=group,
+                prefix_blob=(
+                    prefix_ctx["blobs"].get(group) if group is not None else None
+                ),
+                prefix_fault_spec=prefix_spec_for(idx, attempts[idx]),
+            )
+
+        def note_blob(idx: int, blob: bytes | None) -> None:
+            """Persist + share a worker-produced prefix snapshot so the
+            rest of the group forks instead of recomputing."""
+            if blob is None:
+                return
+            group = prefix_ctx["groups"][idx]
+            if group is None:
+                return
+            prefix_ctx["blobs"].setdefault(group, blob)
+            if self.cache is None or group in prefix_ctx["stored"]:
+                return
+            skey = prefix_ctx["cache_keys"].get(group)
+            if skey is None:
+                return
+            self.cache.put_snapshot(skey, blob)
+            prefix_ctx["stored"].add(group)
+            prefix_ctx["stores"] += 1
 
         def record_failure(idx: int, error_type: str, message: str) -> None:
             if attempts[idx] >= max_att:
@@ -417,15 +529,13 @@ class SweepRunner:
 
         def run_inproc(idx: int) -> None:
             attempts[idx] += 1
-            task = CellTask(
-                task_id=-1, index=idx, job=cells[idx], seed=seeds[idx],
-                fault_spec=spec_for(idx, attempts[idx]),
-            )
+            task = make_task(idx, task_id=-1)
             try:
-                value, duration = run_task(task, in_worker=False)
+                value, duration, blob = run_task(task, in_worker=False)
             except Exception as exc:
                 record_failure(idx, type(exc).__name__, str(exc) or repr(exc))
                 return
+            note_blob(idx, blob)
             finish(idx, JobResult(
                 key=cells[idx].key, value=value, seed=seeds[idx],
                 duration_s=duration, attempts=attempts[idx],
@@ -483,11 +593,7 @@ class SweepRunner:
                         now = time.monotonic()
                         continue
                     attempts[idx] += 1
-                    task = CellTask(
-                        task_id=next(task_ids), index=idx, job=cells[idx],
-                        seed=seeds[idx],
-                        fault_spec=spec_for(idx, attempts[idx]),
-                    )
+                    task = make_task(idx, task_id=next(task_ids))
                     try:
                         backend.submit(task)
                     except TransientSubmitError:
@@ -529,6 +635,7 @@ class SweepRunner:
                         continue  # already settled (e.g. timed out)
                     idx, _dl = entry
                     if outcome.kind == OK:
+                        note_blob(idx, outcome.prefix_blob)
                         finish(idx, JobResult(
                             key=cells[idx].key, value=outcome.value,
                             seed=seeds[idx], duration_s=outcome.duration_s,

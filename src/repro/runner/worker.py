@@ -33,16 +33,18 @@ import threading
 import time
 from typing import Callable
 
+from .backends.base import CellTask, run_task
 from .backends.wire import (
     PROTOCOL_VERSION,
-    encode_value,
+    decode_bytes,
     decode_value,
+    encode_bytes,
+    encode_value,
     parse_address,
     recv_message,
     send_message,
 )
-from .faults import InjectedPartitionError, trip
-from .job import run_job
+from .faults import InjectedPartitionError
 
 
 def parse_listen(spec: str) -> tuple[str, int]:
@@ -63,11 +65,18 @@ def _execute(message: dict, in_worker: bool) -> dict:
     try:
         job = decode_value(message["job"])
         fault = message.get("fault")
-        t0 = time.perf_counter()
-        if fault:
-            trip(tuple(fault), in_worker)
-        value = run_job(job, message.get("seed"))
-        duration = time.perf_counter() - t0
+        prefix_fault = message.get("prefix_fault")
+        blob_text = message.get("prefix_blob")
+        task = CellTask(
+            task_id=task_id if isinstance(task_id, int) else -1,
+            index=-1, job=job, seed=message.get("seed"),
+            fault_spec=tuple(fault) if fault else None,
+            prefix_seed=message.get("prefix_seed"),
+            prefix_group=message.get("prefix_group"),
+            prefix_blob=decode_bytes(blob_text) if blob_text else None,
+            prefix_fault_spec=tuple(prefix_fault) if prefix_fault else None,
+        )
+        value, duration, prefix_blob = run_task(task, in_worker)
     except InjectedPartitionError:
         raise
     except Exception as exc:
@@ -86,10 +95,13 @@ def _execute(message: dict, in_worker: bool) -> dict:
             "error_type": type(exc).__name__,
             "error": f"result not serializable: {exc}",
         }
-    return {
+    reply = {
         "op": "result", "task_id": task_id, "ok": True,
         "value": payload, "duration_s": duration,
     }
+    if prefix_blob is not None:
+        reply["prefix"] = encode_bytes(prefix_blob)
+    return reply
 
 
 def _handle_connection(conn: socket.socket, in_worker: bool) -> None:

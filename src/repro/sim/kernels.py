@@ -207,6 +207,45 @@ def batch_blocking(times, trefi: int, trfc: int) -> list[int]:
     return np.where(pos < trfc, trfc - pos, 0).tolist()
 
 
+def activation_times(t0: int, offsets, act_indices, blocks) -> list[int]:
+    """Exact arrival times for a lap's activations, with refresh blocks
+    folded in (the per-activation half of the turbo engine's blocking
+    sweep, vectorized).
+
+    ``offsets`` holds the lap-relative arrival offset of every DRAM
+    access; ``act_indices`` selects the accesses that activated a row;
+    ``blocks`` is the lap's ``(dram_index, delay)`` block list from
+    :func:`repro.sim.turbo._sweep_blocking`.  The time of activation
+    ``j`` is ``t0 + offsets[j]`` plus every block delay at an index
+    ``<= j`` — a blocked activation is itself pushed to its
+    refresh-snapped time.  Integer-exact on both backends.
+    """
+    np = numpy_or_none()
+    if np is None or len(act_indices) < 64:
+        # Below the vector break-even point (few-op laps dominate here)
+        # the scalar merge beats per-call ndarray setup on both backends.
+        out = []
+        block_i = 0
+        block_n = len(blocks)
+        block_acc = 0
+        for act_idx in act_indices:
+            while block_i < block_n and blocks[block_i][0] <= act_idx:
+                block_acc += blocks[block_i][1]
+                block_i += 1
+            out.append(t0 + offsets[act_idx] + block_acc)
+        return out
+    offs = np.asarray(offsets, dtype=np.int64)
+    acts = np.asarray(act_indices, dtype=np.int64)
+    if not blocks:
+        return (t0 + offs[acts]).tolist()
+    block_idx = np.asarray([b[0] for b in blocks], dtype=np.int64)
+    cum = np.zeros(len(blocks) + 1, dtype=np.int64)
+    np.cumsum(np.asarray([b[1] for b in blocks], dtype=np.int64),
+              out=cum[1:])
+    k = np.searchsorted(block_idx, acts, side="right")
+    return (t0 + offs[acts] + cum[k]).tolist()
+
+
 def count_activations(banks, rows, n_banks: int) -> int:
     """Open-page activation count for a (bank, row) access sequence that
     starts from all-precharged banks — the analytic row-locality midpoint

@@ -1,0 +1,117 @@
+"""Deterministic snapshot/restore blobs for simulated machine state.
+
+A snapshot is the full pickled object graph of a value (typically a
+:class:`~repro.sim.machine.Machine`, or a prefix context holding one)
+wrapped in an integrity header: a magic tag plus a truncated SHA-256 of
+the payload, mirroring the result-cache entry format.  Restoring
+deserialises a *fresh* object graph, so many sweep cells can fork from
+one snapshot without sharing mutable state — and because every piece of
+machine state (caches, DRAM device + disturbance tracker, PMU/PEBS
+counters, refresher/detector/sampler state, RNG streams) round-trips
+bit-for-bit, a forked cell is indistinguishable from one that replayed
+the warmup itself.
+
+Snapshotability is gated on the canonical ``state_key()`` machinery of
+cache replacement policies: a :class:`Machine` whose hierarchy contains
+a policy reporting ``state_key() is None`` has no canonical state and
+raises :class:`~repro.errors.SnapshotUnsupportedError` — as does any
+object graph that fails to pickle (open sockets, lambdas registered as
+access hooks, live generators).  Callers treat that as "run cold", never
+as a failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from typing import Any
+
+from ..errors import SnapshotError, SnapshotUnsupportedError
+
+#: Blob format: MAGIC + sha256(payload)[:CHECKSUM_BYTES] + payload.
+MAGIC = b"RPSN1\n"
+CHECKSUM_BYTES = 16
+
+
+def machine_unsupported_reason(machine: Any) -> str | None:
+    """Why ``machine`` cannot be snapshotted, or ``None`` if it can.
+
+    The only structural obstacle is a cache replacement policy with no
+    canonical state: ``state_key()`` returning ``None`` means the
+    policy's behaviour cannot be reproduced from captured state, so a
+    restored machine would silently diverge.  Sets are scanned in cache
+    order (L1 outward) and set order, so the reported reason is stable.
+    """
+    hierarchy = machine.memory.hierarchy
+    for level, cache in (("l1", hierarchy.l1), ("l2", hierarchy.l2), ("llc", hierarchy.llc)):
+        for index, cset in enumerate(cache._sets):
+            if cset.policy.state_key() is None:
+                policy = type(cset.policy).__name__
+                return (
+                    f"replacement policy {policy} ({level} set {index})"
+                    " reports no canonical state"
+                )
+    return None
+
+
+class _SnapshotPickler(pickle.Pickler):
+    """Pickler that vetoes machines with non-canonical policy state.
+
+    ``reducer_override`` sees every object in the graph, so a Machine
+    nested anywhere inside a prefix context (tuples, dicts, dataclasses)
+    is still checked before a single byte of it is serialised.
+    """
+
+    def reducer_override(self, obj: Any):
+        from .machine import Machine  # deferred: machine.py imports this module
+
+        if isinstance(obj, Machine):
+            reason = machine_unsupported_reason(obj)
+            if reason is not None:
+                raise SnapshotUnsupportedError(reason)
+        return NotImplemented  # normal pickling for everything
+
+
+def snapshot_value(value: Any) -> bytes:
+    """Serialise ``value`` into a checksummed snapshot blob.
+
+    Raises :class:`SnapshotUnsupportedError` when the value cannot be
+    captured deterministically (non-canonical policy state, or any
+    pickling failure); callers fall back to cold execution.
+    """
+    buffer = io.BytesIO()
+    pickler = _SnapshotPickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        pickler.dump(value)
+    except SnapshotUnsupportedError:
+        raise
+    except Exception as exc:
+        raise SnapshotUnsupportedError(
+            f"value cannot be snapshotted: {type(exc).__name__}: {exc}"
+        ) from exc
+    payload = buffer.getvalue()
+    checksum = hashlib.sha256(payload).digest()[:CHECKSUM_BYTES]
+    return MAGIC + checksum + payload
+
+
+def restore_value(blob: bytes) -> Any:
+    """Deserialise a snapshot blob into a fresh object graph.
+
+    Raises :class:`SnapshotError` on any integrity violation (wrong
+    magic, truncated header, checksum mismatch, unpicklable payload) —
+    a corrupt snapshot is *detected*, never partially restored.
+    """
+    header = len(MAGIC) + CHECKSUM_BYTES
+    if not isinstance(blob, (bytes, bytearray)) or not blob.startswith(MAGIC):
+        raise SnapshotError("snapshot blob has no valid integrity header")
+    if len(blob) < header:
+        raise SnapshotError("snapshot blob truncated before payload")
+    checksum = bytes(blob[len(MAGIC):header])
+    payload = bytes(blob[header:])
+    if hashlib.sha256(payload).digest()[:CHECKSUM_BYTES] != checksum:
+        raise SnapshotError("snapshot blob checksum mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # checksum passed but unpicklable (renamed class, ...)
+        raise SnapshotError(f"snapshot blob unpicklable: {exc}") from exc

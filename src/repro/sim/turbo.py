@@ -59,6 +59,7 @@ replacement state, controller/device stats, open rows, and bit flips.
 
 from __future__ import annotations
 
+from bisect import bisect_left as _bisect_left
 from dataclasses import dataclass
 from math import ceil
 from typing import TYPE_CHECKING, Callable, Optional
@@ -146,7 +147,8 @@ class _LapModel:
     """One lap of a verified boundary-state cycle, compiled for skipping."""
 
     __slots__ = (
-        "lap_base", "dram_off", "off_arr", "acts", "per_bank", "cache_delta",
+        "cycle_pos", "lap_base", "dram_off", "off_arr", "acts", "acts_idx",
+        "act_offs", "act_row_ids", "act_rows", "per_bank", "cache_delta",
         "ctl_lat_base", "loads", "stores", "clflushes", "dram", "dram_loads",
         "dram_stores", "end_state",
     )
@@ -399,12 +401,17 @@ def _build_model(cycle: list[_LapTrace], machine: "Machine") -> _SteadyModel:
     model.pos = 0
     model.trefi = engine.trefi_cycles
     model.trfc = engine.trfc_cycles
-    for trace in cycle:
+    for cycle_pos, trace in enumerate(cycle):
         lap = _LapModel()
+        lap.cycle_pos = cycle_pos
         lap.lap_base = trace.lap_base
         lap.dram_off = trace.dram_off
         lap.off_arr = kernels.int_array(trace.dram_off)
         lap.acts = trace.acts
+        lap.acts_idx = [a[0] for a in trace.acts]
+        lap.act_offs = [trace.dram_off[a[0]] for a in trace.acts]
+        lap.act_row_ids = [a[1] for a in trace.acts]
+        lap.act_rows = [a[2] for a in trace.acts]
         lap.per_bank = trace.per_bank
         lap.cache_delta = trace.cache_delta
         lap.ctl_lat_base = trace.ctl_lat_base
@@ -419,6 +426,10 @@ def _build_model(cycle: list[_LapTrace], machine: "Machine") -> _SteadyModel:
     return model
 
 
+#: Shared empty block list for unblocked laps (never mutated).
+_NO_BLOCKS: list[tuple[int, int]] = []
+
+
 def _sweep_blocking(t0: int, lap: _LapModel, trefi: int, trfc: int):
     """Exact refresh-blocking totals for a lap starting at ``t0``.
 
@@ -431,9 +442,22 @@ def _sweep_blocking(t0: int, lap: _LapModel, trefi: int, trfc: int):
     reject the skip (guard-band overrun) at zero cost.
     """
     offsets = lap.dram_off
-    arr = lap.off_arr
     count = len(offsets)
-    search = kernels.searchsorted_left
+    if count == 0:
+        return 0, _NO_BLOCKS
+    # Fast path: every arrival lands inside one refresh-free region of a
+    # single tREFI window — no block, no search.  Small laps (the hammer
+    # loop) take this branch on almost every sweep.
+    pos = (t0 + offsets[0]) % trefi
+    if pos >= trfc and pos + (offsets[count - 1] - offsets[0]) < trefi:
+        return 0, _NO_BLOCKS
+    if count < 64:
+        # Scalar bisect beats per-call ndarray setup on short laps.
+        arr = offsets
+        search = _bisect_left
+    else:
+        arr = lap.off_arr
+        search = kernels.searchsorted_left
     acc = 0
     blocks: list[tuple[int, int]] = []
     j = 0
@@ -455,56 +479,68 @@ def _apply_batch(machine: "Machine",
     """Advance the machine across a batch of planned laps analytically
     (state-mutation counterpart of :func:`_sweep_blocking`).
 
-    Disturbance replay stays per-activation — flip timestamps must match
-    the reference run exactly — but every counter/statistic update is
-    aggregated across the batch and applied once, which is what makes
-    skipping profitable even for few-op laps like the hammer loop.
-    Returns ``(loads, stores, clflushes, dram)`` totals for the caller's
-    :class:`RunResult`.
+    Disturbance replay must land every activation at the exact cycle the
+    reference run would have — so the per-lap arrival times are computed
+    by the :func:`~repro.sim.kernels.activation_times` batch kernel
+    (blocked activations land at their refresh-snapped times), collected
+    across the whole batch, and replayed through one
+    :meth:`~repro.dram.device.DramDevice.replay_activations` call, which
+    amortises the per-activation bookkeeping.  Every counter/statistic
+    update is likewise aggregated across the batch and applied once,
+    which is what makes skipping profitable even for few-op laps like
+    the hammer loop.  Returns ``(loads, stores, clflushes, dram)``
+    totals for the caller's :class:`RunResult`.
     """
-    replay = machine.memory.controller.device.replay_activation
+    device = machine.memory.controller.device
+    acc_total = 0
+    ev_row_ids: list[int] = []
+    ev_rows: list[int] = []
+    ev_times: list[int] = []
+    #: lap.cycle_pos -> [lap, occurrence count].  The plan is whole model
+    #: cycles, so integer stat deltas scale by the count exactly; only
+    #: the activation schedule (and ``acc``) needs the per-entry pass.
+    lap_counts: dict[int, list] = {}
+
+    for lap, t0, acc, blocks in plan:
+        if lap.acts:
+            ev_row_ids.extend(lap.act_row_ids)
+            ev_rows.extend(lap.act_rows)
+            if blocks:
+                ev_times.extend(kernels.activation_times(
+                    t0, lap.dram_off, lap.acts_idx, blocks))
+            else:
+                ev_times.extend([t0 + off for off in lap.act_offs])
+        acc_total += acc
+        entry = lap_counts.get(lap.cycle_pos)
+        if entry is None:
+            lap_counts[lap.cycle_pos] = [lap, 1]
+        else:
+            entry[1] += 1
+
+    if ev_row_ids:
+        device.replay_activations(ev_row_ids, ev_rows, ev_times)
+
     loads = stores = clflushes = dram = dram_loads = dram_stores = 0
     acts_total = 0
-    acc_total = 0
     lat_base_total = 0
     cache_totals = ([0, 0, 0, 0], [0, 0, 0, 0], [0, 0, 0, 0])
     bank_totals: dict[int, int] = {}
-
-    for lap, t0, acc, blocks in plan:
-        offsets = lap.dram_off
-        block_i = 0
-        block_n = len(blocks)
-        block_acc = 0
-        for act_idx, row_id, row in lap.acts:
-            while block_i < block_n and blocks[block_i][0] < act_idx:
-                block_acc += blocks[block_i][1]
-                block_i += 1
-            if block_i < block_n and blocks[block_i][0] == act_idx:
-                # This activation is itself the blocked access: the
-                # device sees it at its refresh-snapped time.
-                delay = blocks[block_i][1]
-                replay(row_id, row, t0 + offsets[act_idx] + block_acc + delay)
-                block_acc += delay
-                block_i += 1
-            else:
-                replay(row_id, row, t0 + offsets[act_idx] + block_acc)
-
-        loads += lap.loads
-        stores += lap.stores
-        clflushes += lap.clflushes
-        dram += lap.dram
-        dram_loads += lap.dram_loads
-        dram_stores += lap.dram_stores
-        acts_total += len(lap.acts)
-        acc_total += acc
-        lat_base_total += lap.ctl_lat_base
+    for lap, n in lap_counts.values():
+        loads += lap.loads * n
+        stores += lap.stores * n
+        clflushes += lap.clflushes * n
+        dram += lap.dram * n
+        dram_loads += lap.dram_loads * n
+        dram_stores += lap.dram_stores * n
+        acts_total += len(lap.acts) * n
+        lat_base_total += lap.ctl_lat_base * n
         for totals, delta in zip(cache_totals, lap.cache_delta):
-            totals[0] += delta[0]
-            totals[1] += delta[1]
-            totals[2] += delta[2]
-            totals[3] += delta[3]
+            totals[0] += delta[0] * n
+            totals[1] += delta[1] * n
+            totals[2] += delta[2] * n
+            totals[3] += delta[3] * n
         for bank, n_acts in lap.per_bank.items():
-            bank_totals[bank] = bank_totals.get(bank, 0) + n_acts
+            bank_totals[bank] = bank_totals.get(bank, 0) + n_acts * n
 
     pmu = machine.pmu
     pmu._c_loads.value += loads

@@ -1,0 +1,259 @@
+"""Prefix-sharing warm start: forked cells are bit-identical to cold runs.
+
+A :class:`Prefix` declares a shared warmup stage.  The runner executes
+each distinct ``(fn, params, derived seed)`` prefix once per worker,
+snapshots the returned context, and hands every member cell a restored
+fork.  The contract gated here mirrors the backend-conformance suite:
+warm-started results must be **bit-identical** to cold per-cell
+execution (``REPRO_SNAPSHOT=0``) on every backend at any worker count —
+the optimisation must be invisible in the result set.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.runner import (
+    Fault,
+    FaultPlan,
+    Job,
+    Prefix,
+    ResultCache,
+    SNAPSHOT_ENV,
+    SweepRunner,
+    start_thread_worker,
+)
+from repro.runner.backends.base import _reset_prefix_memo
+
+ROOT_SEED = 11
+
+
+def warm_context(scale: int, trace: str = "", seed: int = 0) -> dict:
+    """Shared warmup: deterministic in (params, seed), moderately large.
+
+    ``trace`` (a file path) records one line per *execution*, so tests
+    can count how many times the prefix actually ran.
+    """
+    if trace:
+        with open(trace, "a", encoding="utf-8") as fh:
+            fh.write("ran\n")
+    rng = random.Random(seed * 7919 + scale)
+    samples = [rng.randrange(1_000_000) for _ in range(256)]
+    return {"scale": scale, "samples": samples, "rng_state": rng.getstate()}
+
+
+def fork_cell(shift: int, prefix: dict, seed: int) -> tuple:
+    """Diverging tail: consumes the warm context, then mutates it.
+
+    The mutation is the isolation probe — ``n_samples`` lands in the
+    result, so a leaked (shared, already-mutated) context shows up as a
+    warm/cold result mismatch.
+    """
+    n_samples = len(prefix["samples"])
+    rng = random.Random()
+    rng.setstate(prefix["rng_state"])
+    prefix["samples"].append(-1)  # must never leak into a sibling cell
+    tail = [rng.randrange(1_000_000) + shift * seed for _ in range(32)]
+    return (shift, seed, prefix["scale"], n_samples,
+            sum(prefix["samples"][:256]), tuple(tail))
+
+
+def opaque_context(scale: int, seed: int = 0):
+    """A warm context no snapshot can capture (unpicklable graph)."""
+    ctx = warm_context(scale, seed=seed)
+    ctx["hook"] = lambda: None
+    return ctx
+
+
+def make_grid(trace: str = "", fn=warm_context) -> list[Job]:
+    pre = Prefix.of(fn, scale=3, **({"trace": trace} if trace else {}))
+    return [
+        Job.of(fork_cell, key=f"cell/{shift}", prefix=pre, shift=shift)
+        for shift in range(6)
+    ]
+
+
+@pytest.fixture
+def fleet():
+    addr1, stop1 = start_thread_worker()
+    addr2, stop2 = start_thread_worker()
+    yield [addr1, addr2]
+    stop1()
+    stop2()
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo(monkeypatch):
+    """Each test starts with an empty in-worker prefix memo and the
+    snapshot knob at its default (enabled)."""
+    monkeypatch.delenv(SNAPSHOT_ENV, raising=False)
+    _reset_prefix_memo()
+    yield
+    _reset_prefix_memo()
+
+
+def cold_reference(cells, monkeypatch) -> list:
+    monkeypatch.setenv(SNAPSHOT_ENV, "0")
+    _reset_prefix_memo()
+    results = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="serial").run(cells)
+    monkeypatch.delenv(SNAPSHOT_ENV, raising=False)
+    _reset_prefix_memo()
+    return results
+
+
+# -- warm == cold, on every backend -------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ("serial", "process", "tcp"))
+def test_warm_start_matches_cold_reference(backend, fleet, monkeypatch):
+    cells = make_grid()
+    reference = cold_reference(cells, monkeypatch)
+    kwargs = {"workers": fleet, "jobs": 2} if backend == "tcp" else (
+        {"jobs": 3} if backend == "process" else {"jobs": 1})
+    runner = SweepRunner(root_seed=ROOT_SEED, backend=backend, **kwargs)
+    results = runner.run(cells)
+    assert results == reference
+    assert [r.value for r in results] == [r.value for r in reference]
+    assert runner.last_stats["prefix_groups"] == 1
+
+
+def test_prefix_runs_once_per_worker_not_per_cell(tmp_path, monkeypatch):
+    trace = tmp_path / "trace"
+    cells = make_grid(trace=str(trace))
+    warm = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="serial").run(cells)
+    assert trace.read_text().count("ran") == 1  # 6 cells, one execution
+    trace.unlink()
+    reference = cold_reference(cells, monkeypatch)
+    assert trace.read_text().count("ran") == len(cells)  # cold: every cell
+    assert warm == reference
+
+
+def test_snapshot_knob_disables_sharing(tmp_path, monkeypatch):
+    monkeypatch.setenv(SNAPSHOT_ENV, "0")
+    trace = tmp_path / "trace"
+    cells = make_grid(trace=str(trace))
+    runner = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="serial")
+    runner.run(cells)
+    assert trace.read_text().count("ran") == len(cells)
+    assert runner.last_stats["snapshot_stores"] == 0
+    assert runner.last_stats["snapshot_hits"] == 0
+
+
+def test_distinct_prefixes_are_distinct_groups(monkeypatch):
+    pre_a = Prefix.of(warm_context, scale=3)
+    pre_b = Prefix.of(warm_context, scale=4)
+    cells = [
+        Job.of(fork_cell, key=f"a/{s}", prefix=pre_a, shift=s) for s in range(2)
+    ] + [
+        Job.of(fork_cell, key=f"b/{s}", prefix=pre_b, shift=s) for s in range(2)
+    ]
+    reference = cold_reference(cells, monkeypatch)
+    runner = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="serial")
+    assert runner.run(cells) == reference
+    assert runner.last_stats["prefix_groups"] == 2
+
+
+# -- graceful degradation ------------------------------------------------------
+
+
+def test_unsnapshotable_prefix_falls_back_to_cold(monkeypatch):
+    """A context the snapshot layer cannot capture must not fail the
+    sweep: every cell silently runs its prefix cold."""
+    cells = make_grid(fn=opaque_context)
+    reference = cold_reference(cells, monkeypatch)
+    runner = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="serial")
+    results = runner.run(cells)
+    assert results == reference
+    assert all(r.ok for r in results)
+    assert runner.last_stats["snapshot_stores"] == 0
+
+
+def test_prefix_stage_crash_is_retried(fleet, monkeypatch):
+    """A worker crash *during the prefix stage* charges the attempt and
+    the cell converges on retry — same contract as cell-stage faults."""
+    cells = make_grid()
+    reference = cold_reference(cells, monkeypatch)
+    plan = FaultPlan.of(
+        Fault(kind="crash", cell="cell/0", attempts=(1,), stage="prefix"),
+    )
+    runner = SweepRunner(root_seed=ROOT_SEED, backend="tcp", workers=fleet,
+                         jobs=2, policy="degrade", fault_plan=plan)
+    results = runner.run(cells)
+    assert results == reference
+    assert not runner.last_failures
+    assert runner.last_stats["retries"] >= 1
+
+
+# -- identity ------------------------------------------------------------------
+
+
+def test_prefix_identity_folds_into_job_keys():
+    pre_a = Prefix.of(warm_context, scale=3)
+    pre_b = Prefix.of(warm_context, scale=4)
+    bare = Job.of(fork_cell, shift=1)
+    assert Job.of(fork_cell, shift=1, prefix=pre_a).key != bare.key
+    assert (Job.of(fork_cell, shift=1, prefix=pre_a).key
+            != Job.of(fork_cell, shift=1, prefix=pre_b).key)
+    assert (Job.of(fork_cell, shift=1, prefix=pre_a).key
+            == Job.of(fork_cell, shift=1, prefix=pre_a).key)
+
+
+def test_prefix_identity_folds_into_cache_keys(tmp_path):
+    cache = ResultCache(tmp_path)
+    pre_a = Prefix.of(warm_context, scale=3)
+    pre_b = Prefix.of(warm_context, scale=4)
+    job = Job.of(fork_cell, key="same-key", shift=1, prefix=pre_a)
+    alias = Job.of(fork_cell, key="same-key", shift=1, prefix=pre_b)
+    assert (cache.key_for(job.fn, job.params, 1, prefix=job.prefix)
+            != cache.key_for(alias.fn, alias.params, 1, prefix=alias.prefix))
+
+
+# -- snapshot cache ------------------------------------------------------------
+
+
+def test_snapshot_cache_lifecycle(tmp_path, monkeypatch):
+    """Store on first sweep → hit on a new grid sharing the prefix →
+    corrupt entry quarantined and recomputed."""
+    def jobs(*shifts):
+        pre = Prefix.of(warm_context, scale=3)
+        return [Job.of(fork_cell, key=f"cell/{s}", prefix=pre, shift=s)
+                for s in shifts]
+
+    cache_dir = tmp_path / "cache"
+    r1 = SweepRunner(root_seed=ROOT_SEED, cache=cache_dir)
+    first = r1.values(jobs(0, 1))
+    assert r1.last_stats["snapshot_misses"] == 1
+    assert r1.last_stats["snapshot_stores"] == 1
+
+    # New cells, same prefix: the warm context comes off disk.
+    _reset_prefix_memo()
+    r2 = SweepRunner(root_seed=ROOT_SEED, cache=cache_dir)
+    r2.values(jobs(2, 3))
+    assert r2.last_stats["snapshot_hits"] == 1
+    assert r2.last_stats["snapshot_stores"] == 0
+
+    # Same cells again: pure result-cache hits, no prefix work at all.
+    _reset_prefix_memo()
+    r3 = SweepRunner(root_seed=ROOT_SEED, cache=cache_dir)
+    assert r3.values(jobs(0, 1)) == first
+    assert r3.last_stats["cache_hits"] == 2
+
+    report = r3.cache.verify()
+    assert report["snapshots_checked"] == 1
+    assert report["snapshots_ok"] == 1
+    assert not report["corrupt"]
+
+    # Corrupt the blob on disk: verify() flags it, the next sweep
+    # quarantines and recomputes instead of restoring garbage.
+    snap = next((cache_dir / "snapshots").glob("*.pkl"))
+    snap.write_bytes(b"garbage")
+    report = r3.cache.verify(repair=False)
+    assert report["corrupt"] and report["corrupt"][0].startswith("snapshots/")
+
+    _reset_prefix_memo()
+    r4 = SweepRunner(root_seed=ROOT_SEED, cache=cache_dir)
+    r4.values(jobs(4))
+    assert r4.last_stats["snapshot_misses"] == 1
+    assert r4.last_stats["snapshot_stores"] == 1

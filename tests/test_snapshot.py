@@ -1,0 +1,196 @@
+"""Deterministic machine snapshots: bit-for-bit round-trip equivalence.
+
+``Machine.snapshot()`` / ``Machine.restore()`` must capture *everything*
+— caches + replacement state (via the canonical ``state_key()``
+machinery), DRAM device + disturbance tracker, PMU/PEBS counters,
+pending timers, RNG streams — so that a restored machine is
+indistinguishable from the original under any future workload.  These
+tests gate that the same way the fastpath/turbo suites gate engine
+equivalence: run the original and the restored fork through identical
+op streams and compare every observable.
+
+Unsupported state (a replacement policy with no canonical form, an
+unpicklable access hook) must surface as
+:class:`~repro.errors.SnapshotUnsupportedError` — the signal the sweep
+runner converts into cold execution — and corrupt blobs must raise
+:class:`~repro.errors.SnapshotError`, never restore partially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from itertools import islice
+
+import pytest
+
+from tests.test_fastpath_equivalence import result_tuple, state_snapshot
+
+from repro.cache.replacement import ReplacementPolicy, make_policy, policy_names
+from repro.errors import SnapshotError, SnapshotUnsupportedError
+from repro.presets import small_machine
+from repro.sim.snapshot import (
+    CHECKSUM_BYTES,
+    MAGIC,
+    machine_unsupported_reason,
+    restore_value,
+    snapshot_value,
+)
+from repro.workloads import HammerWorkload, RandomAccessWorkload
+
+KB = 1024
+
+
+def warmed_machine(threshold_min: int = 20_000, cycles: int = 2_000_000):
+    """A small machine driven partway through a hammer run — open rows,
+    partial disturbance deposits, PMU counts, cache residency."""
+    machine = small_machine(threshold_min=threshold_min)
+    workload = HammerWorkload(aggressors=2, think_cycles=120, seed=5)
+    workload.prepare(machine)
+    machine.run_fast(workload.ops(), max_cycles=cycles)
+    return machine
+
+
+def drive(machine, seed: int = 9, n_ops: int = 4_000):
+    """Run a fixed op stream and return every observable."""
+    workload = RandomAccessWorkload(working_set_bytes=256 * KB, seed=seed)
+    workload.prepare(machine)
+    result = machine.run_fast(islice(workload.ops(), n_ops))
+    return result_tuple(result), state_snapshot(machine)
+
+
+# -- round-trip equivalence ---------------------------------------------------
+
+
+def test_round_trip_is_bit_identical():
+    machine = warmed_machine()
+    blob = machine.snapshot()
+    fork = type(machine).restore(blob)
+    assert state_snapshot(fork) == state_snapshot(machine)
+    # The real gate: both machines must behave identically *forever*.
+    assert drive(fork) == drive(machine)
+
+
+def test_snapshot_blob_is_deterministic():
+    machine = warmed_machine()
+    assert machine.snapshot() == machine.snapshot()
+
+
+def test_restored_forks_are_independent():
+    machine = warmed_machine()
+    blob = machine.snapshot()
+    fork_a = type(machine).restore(blob)
+    fork_b = type(machine).restore(blob)
+    drive(fork_a, seed=1)  # mutate one fork heavily
+    # The sibling fork and a fresh restore still match the original.
+    assert state_snapshot(fork_b) == state_snapshot(machine)
+    assert drive(fork_b) == drive(type(machine).restore(blob))
+
+
+def test_snapshot_after_flips_round_trips():
+    machine = warmed_machine(threshold_min=4_000, cycles=8_000_000)
+    assert machine.memory.flip_count() > 0
+    fork = type(machine).restore(machine.snapshot())
+    assert state_snapshot(fork) == state_snapshot(machine)
+    assert drive(fork) == drive(machine)
+
+
+@pytest.mark.parametrize("policy", policy_names())
+def test_round_trip_across_replacement_policies(policy):
+    machine = small_machine()
+    hierarchy = machine.memory.hierarchy
+    # Swap every set's policy in place for the target policy (skipping
+    # caches whose associativity the policy cannot express, e.g. the
+    # 12-way LLC under tree-plru).
+    for cache in (hierarchy.l1, hierarchy.l2, hierarchy.llc):
+        ways = cache.config.ways
+        if policy == "tree-plru" and ways & (ways - 1):
+            continue
+        cache.config = replace(cache.config, policy=policy)
+        for i, cset in enumerate(cache._sets):
+            cset.policy = make_policy(
+                policy, cache.config.ways, seed=cache.config.policy_seed + i
+            )
+    drive(machine, seed=3, n_ops=2_000)  # populate replacement state
+    blob = machine.snapshot()
+    fork = type(machine).restore(blob)
+    assert state_snapshot(fork) == state_snapshot(machine)
+    assert drive(fork) == drive(machine)
+
+
+# -- unsupported state --------------------------------------------------------
+
+
+class OpaquePolicy(ReplacementPolicy):
+    """A policy that cannot report canonical state."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._next = 0
+
+    def on_hit(self, way: int) -> None:
+        pass
+
+    def on_fill(self, way: int) -> None:
+        pass
+
+    def victim(self) -> int:
+        way = self._next
+        self._next = (self._next + 1) % self.ways
+        return way
+
+    # state_key() inherited: returns None (no canonical form).
+
+
+def test_unsnapshotable_policy_is_reported():
+    machine = small_machine()
+    cset = machine.memory.hierarchy.l2._sets[3]
+    cset.policy = OpaquePolicy(machine.memory.hierarchy.l2.config.ways)
+    reason = machine_unsupported_reason(machine)
+    assert reason is not None
+    assert "OpaquePolicy" in reason and "l2 set 3" in reason
+    with pytest.raises(SnapshotUnsupportedError):
+        machine.snapshot()
+
+
+def test_machine_nested_in_context_is_still_vetoed():
+    machine = small_machine()
+    machine.memory.hierarchy.l1._sets[0].policy = OpaquePolicy(
+        machine.memory.hierarchy.l1.config.ways
+    )
+    with pytest.raises(SnapshotUnsupportedError):
+        snapshot_value({"machine": machine, "extra": (1, 2)})
+
+
+def test_unpicklable_graph_is_unsupported_not_fatal():
+    machine = small_machine()
+    machine.add_access_hook(lambda record, cycles: None)
+    with pytest.raises(SnapshotUnsupportedError):
+        machine.snapshot()
+
+
+# -- integrity ----------------------------------------------------------------
+
+
+def test_corrupt_blob_is_detected():
+    blob = snapshot_value({"a": 1})
+    header = len(MAGIC) + CHECKSUM_BYTES
+    flipped = blob[:header] + bytes([blob[header] ^ 0xFF]) + blob[header + 1:]
+    with pytest.raises(SnapshotError):
+        restore_value(flipped)
+    with pytest.raises(SnapshotError):
+        restore_value(b"junk" + blob)
+    with pytest.raises(SnapshotError):
+        restore_value(blob[: header - 2])
+
+
+def test_restore_rejects_non_machine_blob():
+    from repro.sim.machine import Machine
+
+    blob = snapshot_value({"not": "a machine"})
+    with pytest.raises(SnapshotError):
+        Machine.restore(blob)
+
+
+def test_plain_values_round_trip():
+    value = {"tuple": (1, 2.5, "x"), "list": [b"bytes", None]}
+    assert restore_value(snapshot_value(value)) == value
