@@ -13,13 +13,16 @@ Commands map onto the library's headline capabilities:
 - ``lint`` — the determinism & engine-equivalence static-analysis suite
   (exits nonzero on any non-baselined finding, mirroring ``cache
   verify``; see :mod:`repro.analysis.lint`);
-- ``worker`` — serve sweep cells over TCP (``worker serve``) for the
-  multi-host fleet backend;
+- ``worker`` — fleet capacity for the TCP backend: ``worker serve`` runs
+  one worker in the foreground; ``worker pool --workers N`` runs a
+  self-healing :class:`~repro.runner.WorkerSupervisor` that spawns N
+  workers and restarts crashed ones (seeded backoff, restart budgets);
 - ``info`` — the simulated machine's configuration.
 
 Every sweep-running command (``defense-grid``, ``spec-overhead``) takes
 the same execution flags — ``--jobs``, ``--backend``, ``--workers``,
-``--seed``, ``--fail-policy``, ``--cell-timeout``, ``--retries`` — from
+``--seed``, ``--fail-policy``, ``--cell-timeout``, ``--retries``,
+``--heartbeat``, ``--checkpoint``, ``--lease-ttl`` — from
 one shared parent parser, mirroring the ``REPRO_JOBS`` / ``REPRO_BACKEND``
 / ``REPRO_WORKERS`` environment knobs.
 
@@ -103,7 +106,52 @@ def _sweep_parent() -> argparse.ArgumentParser:
     group.add_argument("--retries", type=int, default=2,
                        help="retries per failed cell before it is "
                             "recorded as a failure (default 2)")
+    group.add_argument("--heartbeat", type=float, default=None, metavar="S",
+                       help="tcp fleet liveness heartbeat interval: hung "
+                            "workers are retired after 2x this and "
+                            "restarted workers re-admitted mid-sweep")
+    group.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="journal completed cells to PATH so an "
+                            "interrupted sweep resumes where it stopped")
+    group.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                       help="cooperative mode (requires --checkpoint): "
+                            "claim cells via journal leases of this TTL so "
+                            "several runner processes share one sweep")
     return parent
+
+
+def _run_worker_pool(args: argparse.Namespace) -> int:
+    """``worker pool``: supervise a self-healing local worker fleet."""
+    import json
+    import os
+
+    from .runner import WorkerSupervisor
+
+    def emit(event: str, slot: int, detail: str) -> None:
+        print(json.dumps(
+            {"op": "pool-event", "event": event, "slot": slot,
+             "detail": detail}, sort_keys=True), flush=True)
+
+    supervisor = WorkerSupervisor(
+        workers=args.pool_workers, host=args.host,
+        max_restarts=args.max_restarts, seed=args.seed,
+        on_event=emit,
+    )
+    try:
+        addresses = supervisor.start()
+    except OSError as exc:
+        print(f"error: worker pool failed to start: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(
+        {"op": "pool", "pid": os.getpid(), "workers": addresses},
+        sort_keys=True), flush=True)
+    try:
+        supervisor.run()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.stop()
+    return 0
 
 
 def _sweep_runner(args: argparse.Namespace) -> SweepRunner:
@@ -113,6 +161,8 @@ def _sweep_runner(args: argparse.Namespace) -> SweepRunner:
         backend=args.backend, workers=args.workers,
         retry=RetryPolicy(max_attempts=args.retries + 1,
                           timeout_s=args.cell_timeout),
+        heartbeat_s=args.heartbeat, checkpoint=args.checkpoint,
+        lease_ttl=args.lease_ttl,
     )
 
 
@@ -174,14 +224,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
     worker = sub.add_parser(
         "worker", help="serve sweep cells over TCP (fleet backend)")
-    worker.add_argument("action", choices=("serve",),
+    worker.add_argument("action", choices=("serve", "pool"),
                         help="serve: accept cells from TcpFleetBackend "
-                             "runners until interrupted")
+                             "runners until interrupted; pool: supervise "
+                             "N local workers, restarting crashed ones")
     worker.add_argument("--listen", default="127.0.0.1:0",
                         metavar="HOST:PORT",
-                        help="bind address; port 0 picks a free port, "
-                             "announced as a JSON line on stdout "
+                        help="serve: bind address; port 0 picks a free "
+                             "port, announced as a JSON line on stdout "
                              "(default 127.0.0.1:0)")
+    worker.add_argument("--workers", dest="pool_workers", type=int, default=2,
+                        help="pool: supervised worker count (default 2)")
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="pool: bind host for the workers "
+                             "(default 127.0.0.1)")
+    worker.add_argument("--max-restarts", type=int, default=5,
+                        help="pool: per-worker restart budget before the "
+                             "slot is retired (default 5)")
+    worker.add_argument("--seed", type=int, default=0,
+                        help="pool: seed for the deterministic restart-"
+                             "backoff jitter")
 
     sub.add_parser("info", help="print the simulated machine configuration")
     return parser
@@ -359,6 +421,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    if args.action == "pool":
+        return _run_worker_pool(args)
     try:
         serve_worker(args.listen)
     except KeyboardInterrupt:

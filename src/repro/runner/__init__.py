@@ -46,14 +46,16 @@ from .backends import (
     make_backend,
     snapshots_enabled,
 )
+from .backends.wire import WireProtocolError
 from .cache import ResultCache, code_fingerprint, invalidate_fingerprints
-from .checkpoint import SweepJournal, sweep_id
+from .checkpoint import LeaseTable, SweepJournal, sweep_id
 from .faults import (
     Fault,
     FaultInjector,
     FaultPlan,
     InjectedCrashError,
     InjectedFaultError,
+    InjectedFreezeError,
     InjectedPartitionError,
     permanent_cells,
 )
@@ -77,6 +79,7 @@ from .runner import (
     default_workers,
 )
 from .seeding import canonical_repr, derive_seed, stable_digest, stable_hash
+from .supervisor import WorkerSupervisor
 from .worker import serve as serve_worker
 from .worker import spawn_worker_process, start_thread_worker
 
@@ -93,10 +96,12 @@ __all__ = [
     "FaultPlan",
     "InjectedCrashError",
     "InjectedFaultError",
+    "InjectedFreezeError",
     "InjectedPartitionError",
     "JOBS_ENV",
     "Job",
     "JobResult",
+    "LeaseTable",
     "Prefix",
     "ProcessPoolBackend",
     "ResultCache",
@@ -110,7 +115,9 @@ __all__ = [
     "TcpFleetBackend",
     "TransientSubmitError",
     "WORKERS_ENV",
+    "WireProtocolError",
     "WorkerHealth",
+    "WorkerSupervisor",
     "callable_spec",
     "canonical_repr",
     "code_fingerprint",

@@ -45,12 +45,15 @@ def make_backend(
     jobs: int = 1,
     workers=None,
     max_rebuilds: int = 16,
+    heartbeat_s: float | None = None,
 ) -> ExecutorBackend:
     """Build a backend from its registry name.
 
     ``jobs`` sizes the process pool; ``workers`` is the TCP fleet's
     ``HOST:PORT`` address list (string or sequence).  A ``tcp://h:p,h:p``
-    name carries its own addresses.
+    name carries its own addresses.  ``heartbeat_s`` enables the TCP
+    fleet's liveness heartbeat and mid-sweep worker re-admission
+    (ignored by the other backends, which have no remote peers to probe).
     """
     spec = (name or "").strip().lower()
     if spec.startswith("tcp://"):
@@ -67,7 +70,7 @@ def make_backend(
                 "tcp backend needs worker addresses (--workers HOST:PORT[,...]"
                 " or REPRO_WORKERS)"
             )
-        return TcpFleetBackend(addresses)
+        return TcpFleetBackend(addresses, heartbeat_s=heartbeat_s)
     raise ConfigError(f"unknown sweep backend {name!r}; expected one of {BACKENDS}")
 
 

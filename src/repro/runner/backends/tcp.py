@@ -22,6 +22,22 @@ Lost-worker semantics feed straight into the runner's existing
 
 Workers that merely *partitioned* (connection severed, process alive)
 keep serving: a later sweep can reconnect to them.
+
+With ``heartbeat_s`` set, two more robustness layers engage:
+
+- **hung-worker detection** — the backend pings any worker idle for one
+  heartbeat interval; a worker that stays silent for two intervals with
+  a ping outstanding is retired as *hung* (its in-flight cell settles
+  ``lost`` → retried elsewhere).  Workers answer pings from their reader
+  thread even mid-cell, so a missed heartbeat means the worker process
+  is wedged — frozen, stopped, deadlocked — not busy;
+- **re-admission** — addresses with no live connection are periodically
+  re-dialled (short, heartbeat-scale timeout), so a worker restarted by
+  :class:`~repro.runner.supervisor.WorkerSupervisor` — which re-binds
+  the same port — rejoins the fleet mid-sweep instead of staying dead.
+
+Both are scheduling-only mechanisms: results stay a pure function of
+(grid, root seed) at any heartbeat setting or churn schedule.
 """
 
 from __future__ import annotations
@@ -29,6 +45,7 @@ from __future__ import annotations
 import select
 import socket
 import sys
+import time
 from collections import deque
 from typing import Iterable, Sequence
 
@@ -56,6 +73,7 @@ from .wire import (
     recv_message,
     send_message,
     split_lines,
+    version_mismatch,
 )
 
 #: Seconds allowed for connect + hello/welcome per worker.
@@ -65,8 +83,10 @@ CONNECT_TIMEOUT_S = 10.0
 class _FleetWorker:
     """Runner-side state for one connected fleet worker."""
 
-    def __init__(self, worker_id: str, sock: socket.socket, pid: int | None) -> None:
+    def __init__(self, worker_id: str, address: str, sock: socket.socket,
+                 pid: int | None) -> None:
         self.worker_id = worker_id
+        self.address = address
         self.sock = sock
         self.pid = pid
         self.buffer = b""
@@ -75,6 +95,10 @@ class _FleetWorker:
         self.tasks_done = 0
         self.tasks_failed = 0
         self.detail = ""
+        # Heartbeat bookkeeping (monotonic clock: scheduling, not results).
+        self.last_recv = time.monotonic()
+        self.last_ping = 0.0
+        self.pings = 0
 
 
 class TcpFleetBackend(ExecutorBackend):
@@ -85,22 +109,36 @@ class TcpFleetBackend(ExecutorBackend):
         self,
         workers: str | Sequence[str],
         connect_timeout_s: float = CONNECT_TIMEOUT_S,
+        heartbeat_s: float | None = None,
     ) -> None:
         self.addresses = normalize_addresses(workers)
         if not self.addresses:
             raise ValueError("TcpFleetBackend needs at least one HOST:PORT address")
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be positive, got {heartbeat_s}")
         self.connect_timeout_s = connect_timeout_s
+        self.heartbeat_s = heartbeat_s
         self.workers_lost = 0
+        self.workers_hung = 0
+        self.workers_readmitted = 0
         self.fleet_size = 0
         self._workers: list[_FleetWorker] = []
         self._ready: deque[TaskOutcome] = deque()
+        self._generation: dict[str, int] = {}
+        self._last_readmit = 0.0
 
     # -- fleet membership ---------------------------------------------------------
 
-    def _connect(self, address: str) -> _FleetWorker | None:
+    def _connect(
+        self, address: str, timeout_s: float | None = None,
+    ) -> _FleetWorker | None:
+        """Dial one worker.  ``None`` for unreachable/unresponsive peers;
+        :class:`WireProtocolError` (fail fast, both versions named) for a
+        reachable peer speaking the wrong protocol version."""
+        timeout = self.connect_timeout_s if timeout_s is None else timeout_s
         try:
             host, port = parse_address(address)
-            sock = socket.create_connection((host, port), timeout=self.connect_timeout_s)
+            sock = socket.create_connection((host, port), timeout=timeout)
         except (OSError, ValueError):
             return None
         try:
@@ -108,18 +146,31 @@ class TcpFleetBackend(ExecutorBackend):
                 "op": "hello", "version": PROTOCOL_VERSION,
                 "path": list(sys.path),
             })
-            sock.settimeout(self.connect_timeout_s)
+            sock.settimeout(timeout)
             welcome, buffer = recv_message(sock, b"")
-            if (welcome is None or welcome.get("op") != "welcome"
-                    or welcome.get("version") != PROTOCOL_VERSION):
-                sock.close()
-                return None
-            sock.settimeout(None)
-            sock.setblocking(False)
         except (OSError, WireError):
             sock.close()
             return None
-        worker = _FleetWorker(address, sock, welcome.get("pid"))
+        if welcome is None or welcome.get("op") not in ("welcome", "unsupported"):
+            sock.close()
+            return None
+        if (welcome.get("op") == "unsupported"
+                or welcome.get("version") != PROTOCOL_VERSION):
+            sock.close()
+            raise version_mismatch(
+                PROTOCOL_VERSION, welcome.get("version"),
+                f"fleet worker {address}",
+            )
+        try:
+            sock.settimeout(None)
+            sock.setblocking(False)
+        except OSError:
+            sock.close()
+            return None
+        generation = self._generation.get(address, 0) + 1
+        self._generation[address] = generation
+        worker_id = address if generation == 1 else f"{address}#{generation}"
+        worker = _FleetWorker(worker_id, address, sock, welcome.get("pid"))
         worker.buffer = buffer
         return worker
 
@@ -127,6 +178,8 @@ class TcpFleetBackend(ExecutorBackend):
         if self._workers:  # reconnect semantics: a fresh fleet per run
             self.shutdown(cancel=True)
         self._workers = []
+        self._generation = {}
+        self._last_readmit = time.monotonic()
         unreachable = []
         for address in self.addresses:
             worker = self._connect(address)
@@ -215,6 +268,11 @@ class TcpFleetBackend(ExecutorBackend):
         workers = self._alive()
         if not workers:
             return []
+        if self.heartbeat_s is not None:
+            # Wake at least twice per heartbeat interval so pings and
+            # hung-detection run on time even with no wire traffic.
+            half = self.heartbeat_s / 2
+            timeout = half if timeout is None else min(timeout, half)
         try:
             readable, _, _ = select.select(
                 [w.sock for w in workers], [], [], timeout
@@ -240,6 +298,7 @@ class TcpFleetBackend(ExecutorBackend):
                     out.append(outcome)
                 continue
             worker.buffer += chunk
+            worker.last_recv = time.monotonic()
             try:
                 messages, worker.buffer = split_lines(worker.buffer)
             except WireError as exc:
@@ -251,7 +310,78 @@ class TcpFleetBackend(ExecutorBackend):
                 outcome = self._handle(worker, message)
                 if outcome is not None:
                     out.append(outcome)
+        if self.heartbeat_s is not None:
+            out.extend(self._heartbeat())
+            self._readmit()
         return out
+
+    def _heartbeat(self) -> list[TaskOutcome]:
+        """Ping idle workers; retire those silent past two intervals.
+
+        A worker answers pings from its reader thread even mid-cell, so
+        ``idle >= 2 * heartbeat_s`` with a ping outstanding means the
+        *process* is wedged — not busy — and its cell must be retried
+        elsewhere (the lost-worker → RetryPolicy path).
+        """
+        assert self.heartbeat_s is not None
+        now = time.monotonic()
+        hb = self.heartbeat_s
+        out: list[TaskOutcome] = []
+        for worker in self._alive():
+            idle = now - worker.last_recv
+            if idle >= 2 * hb and worker.last_ping > worker.last_recv:
+                self.workers_hung += 1
+                outcome = self._lose(
+                    worker,
+                    f"missed heartbeats: silent for {idle:.2f}s "
+                    f"(interval {hb}s, ping unanswered)",
+                )
+                if outcome is not None:
+                    out.append(outcome)
+                continue
+            if idle >= hb and now - worker.last_ping >= hb:
+                worker.pings += 1
+                try:
+                    worker.sock.setblocking(True)
+                    send_message(worker.sock, {"op": "ping", "token": worker.pings})
+                    worker.sock.setblocking(False)
+                    worker.last_ping = now
+                except OSError as exc:
+                    outcome = self._lose(worker, f"ping failed: {exc}")
+                    if outcome is not None:
+                        out.append(outcome)
+        return out
+
+    def _readmit(self) -> None:
+        """Re-dial addresses with no live worker (restarted/recovered
+        peers rejoin mid-sweep).  Runs at most every two heartbeat
+        intervals with a short, heartbeat-scale connect timeout, so a
+        still-dead address cannot stall the dispatch loop."""
+        assert self.heartbeat_s is not None
+        now = time.monotonic()
+        interval = 2 * max(self.heartbeat_s, 0.25)
+        if now - self._last_readmit < interval:
+            return
+        self._last_readmit = now
+        live = {w.address for w in self._alive()}
+        for address in self.addresses:
+            if address in live:
+                continue
+            try:
+                worker = self._connect(
+                    address,
+                    timeout_s=min(self.connect_timeout_s,
+                                  max(self.heartbeat_s, 0.25)),
+                )
+            except WireError:
+                # A wrong-version replacement is not capacity; keep the
+                # sweep going on the surviving workers.
+                continue
+            if worker is None:
+                continue
+            self._workers.append(worker)
+            self.workers_readmitted += 1
+            self.fleet_size = max(self.fleet_size, len(self._alive()))
 
     def _handle(self, worker: _FleetWorker, message: dict) -> TaskOutcome | None:
         op = message.get("op")
@@ -330,4 +460,9 @@ class TcpFleetBackend(ExecutorBackend):
         ]
 
     def stats(self) -> dict[str, int]:
-        return {"workers_lost": self.workers_lost, "fleet_size": self.fleet_size}
+        return {
+            "workers_lost": self.workers_lost,
+            "workers_hung": self.workers_hung,
+            "workers_readmitted": self.workers_readmitted,
+            "fleet_size": self.fleet_size,
+        }

@@ -25,6 +25,8 @@ w→runner     ``{"op": "result", "task_id": N, "ok": true,
 w→runner     ``{"op": "result", "task_id": N, "ok": false,
              "error_type": "...", "error": "...", "reject": bool}``
 runner→w     ``{"op": "ping", "token": N}`` / w→runner ``{"op": "pong", ...}``
+w→runner     ``{"op": "unsupported", "version": N, "got": M,
+             "error": "..."}`` — version mismatch, connection refused
 runner→w     ``{"op": "bye"}`` — the worker closes the connection
 ===========  ============================================================
 
@@ -34,6 +36,18 @@ on a failed result means the value could not be serialised at all — the
 runner treats the backend as useless for this sweep (exactly the
 process-pool pickling semantics).  A dropped connection *is* the
 lost-worker signal: there are no explicit failure notifications to lose.
+
+``ping``/``pong`` doubles as the liveness heartbeat: workers answer
+pings even while a cell is executing (execution runs in a side thread),
+so an unanswered ping means the worker *process* is wedged — frozen,
+stopped, or deadlocked — not merely busy.  The runner retires a worker
+that stays silent for two heartbeat intervals after a ping.
+
+Version negotiation fails fast, by name, in both directions: a worker
+that receives a ``hello`` with a foreign version replies ``unsupported``
+(naming both versions) and closes; a runner that receives a ``welcome``
+or ``unsupported`` with a foreign version raises
+:class:`WireProtocolError` instead of silently dropping the worker.
 
 The worker announces itself on stdout with
 ``{"op": "listening", "host": ..., "port": ..., "pid": ...}`` so callers
@@ -57,6 +71,23 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 
 class WireError(Exception):
     """A malformed frame or value on the fleet wire."""
+
+
+class WireProtocolError(WireError):
+    """The two ends of the fleet wire speak different protocol versions.
+
+    Raised (runner side) or reported via an ``unsupported`` reply (worker
+    side) with *both* versions named, so a mixed-version fleet fails fast
+    and legibly instead of with an opaque decode error mid-sweep.
+    """
+
+
+def version_mismatch(ours: int, theirs: object, peer: str) -> WireProtocolError:
+    """A uniformly worded :class:`WireProtocolError` naming both versions."""
+    return WireProtocolError(
+        f"wire protocol version mismatch: this side speaks v{ours}, "
+        f"{peer} speaks v{theirs!r}"
+    )
 
 
 def encode_value(value: Any) -> str:

@@ -24,6 +24,12 @@ Fault kinds:
   retries the cell elsewhere); executed in-process or on a pool worker
   — where there is no network to cut — it raises
   :class:`InjectedPartitionError` like an ordinary cell failure;
+- ``"freeze"`` — a simulated *hung-but-connected* worker: a TCP fleet
+  worker goes mute — the connection stays open but nothing (not even a
+  heartbeat ``pong``) is ever sent again — exactly the signature of a
+  stopped/deadlocked process, detectable only by the runner's missed
+  heartbeats; executed in-process or on a pool worker it raises
+  :class:`InjectedFreezeError` like an ordinary cell failure;
 - ``"corrupt"`` — the cell itself succeeds, but its freshly written
   :class:`~.cache.ResultCache` entry is overwritten with garbage,
   exercising the checksum/quarantine path on the next run.
@@ -46,7 +52,7 @@ from ..errors import ReproError
 #: Exit code used by injected worker crashes (visible in pool diagnostics).
 CRASH_EXIT_CODE = 86
 
-FAULT_KINDS = ("error", "crash", "hang", "partition", "corrupt")
+FAULT_KINDS = ("error", "crash", "hang", "partition", "freeze", "corrupt")
 
 
 class InjectedFaultError(ReproError):
@@ -62,6 +68,14 @@ class InjectedPartitionError(InjectedFaultError):
     """A simulated network partition.  A TCP fleet worker catches this
     and severs its connection without replying (process stays alive);
     everywhere else it surfaces as an ordinary injected cell failure."""
+
+
+class InjectedFreezeError(InjectedFaultError):
+    """A simulated hung-but-connected worker.  A TCP fleet worker
+    intercepts the spec before execution and goes mute (the connection
+    stays open, heartbeats go unanswered — the runner must detect it via
+    missed ``pong``\\ s, not a socket error); everywhere else it surfaces
+    as an ordinary injected cell failure."""
 
 
 @dataclass(frozen=True)
@@ -253,6 +267,13 @@ def trip(spec: tuple, in_worker: bool) -> None:
     if kind == "partition":
         raise InjectedPartitionError(
             f"injected network partition (cell {spec[1]!r}, attempt {spec[2]})"
+        )
+    if kind == "freeze":
+        # A fleet worker never gets here: its connection handler
+        # intercepts the spec and goes mute instead (see worker.py).
+        raise InjectedFreezeError(
+            f"injected worker freeze (cell {spec[1]!r}, attempt {spec[2]}, "
+            "in-process)"
         )
     raise ValueError(f"unknown fault spec {spec!r}")
 

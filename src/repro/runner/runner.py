@@ -35,6 +35,15 @@ and executes them
   per cell, so an interrupted, killed, or strict-aborted sweep resumes
   recomputing only unfinished cells.  ``KeyboardInterrupt`` shuts the
   backend down and flushes the journal before propagating;
+- **cooperatively**: with ``lease_ttl=<seconds>`` (requires
+  ``checkpoint``), several runner processes drain *one* sweep through
+  one shared journal.  Each runner claims cells via journal lease
+  records before dispatching them, adopts peers' durable ``done``
+  records instead of recomputing, renews its leases while working, and
+  reclaims cells whose holder died (leases expire on the monotonic
+  clock).  Double-completions at the race edges resolve first-wins with
+  bit-identical verification, so the merged result set equals a clean
+  serial run no matter which runner is killed when;
 - **verifiably-on-purpose**: a seed-deterministic
   :class:`~.faults.FaultPlan` can inject worker crashes, cell
   exceptions, hangs, network partitions, and cache corruption at chosen
@@ -53,7 +62,7 @@ from collections import deque
 from itertools import count
 from typing import Any, Callable, Sequence
 
-from ..errors import SweepError
+from ..errors import ConfigError, SweepError
 from .backends import (
     ERROR,
     LOST,
@@ -120,6 +129,94 @@ def default_workers() -> tuple[str, ...]:
     return normalize_addresses(os.environ.get(WORKERS_ENV, ""))
 
 
+class _LeaseCoop:
+    """One run's view of journal-lease cooperation.
+
+    Wraps the shared :class:`~.checkpoint.SweepJournal` with the three
+    verbs the dispatcher needs: *claim* a cell before dispatching it
+    (file order arbitrates races; an expired foreign lease is reclaimed),
+    *poll* for peers' durable completions to adopt, and *renew*/-
+    *release* held leases.  Every decision folds out of the shared
+    append-only journal, so all cooperating runners see the same state.
+    """
+
+    def __init__(self, journal: SweepJournal, journal_id: str,
+                 ttl_s: float, runner_id: str) -> None:
+        self.journal = journal
+        self.journal_id = journal_id
+        self.ttl_s = ttl_s
+        self.runner_id = runner_id
+        #: How often the dispatcher should look for peer activity while
+        #: idle — a fraction of the TTL so expiries are seen promptly.
+        self.poll_s = max(0.02, min(0.25, ttl_s / 4))
+        self.claimed: set[str] = set()
+        self.stats: dict[str, int] = {
+            "leases_claimed": 0, "lease_losses": 0, "leases_reclaimed": 0,
+            "lease_renewals": 0, "adopted": 0,
+        }
+        self._fresh: dict[str, JobResult] = {}
+        self._last_renew = time.monotonic()
+
+    def _consume(self) -> None:
+        # Accumulate rather than return: try_claim() replays the journal
+        # too, and any done records it surfaces must not be swallowed —
+        # they stay queued here until the next poll() drains them.
+        self._fresh.update(self.journal.poll_updates(self.journal_id))
+
+    def poll(self) -> dict[str, JobResult]:
+        """Peers' newly journalled completions (adopt, don't recompute)."""
+        self._consume()
+        self._maybe_renew()
+        fresh, self._fresh = self._fresh, {}
+        return fresh
+
+    def _maybe_renew(self) -> None:
+        now = time.monotonic()
+        if self.claimed and now - self._last_renew >= self.ttl_s / 3.0:
+            self.journal.renew(self.runner_id, sorted(self.claimed), self.ttl_s)
+            self.stats["lease_renewals"] += 1
+            self._last_renew = now
+
+    def foreign_holder(self, key: str) -> str | None:
+        """The peer holding an unexpired lease on ``key`` (None = free)."""
+        holder = self.journal.leases.holder(key)
+        return None if holder is None or holder == self.runner_id else holder
+
+    def try_claim(self, key: str) -> bool:
+        """Append a claim and let journal file order arbitrate it."""
+        if key in self.claimed:
+            return True
+        stale = self.journal.leases.stale_holder(key)
+        self.journal.claim(self.runner_id, [key], self.ttl_s)
+        self._consume()
+        if self.journal.leases.holder(key) == self.runner_id:
+            self.claimed.add(key)
+            self.stats["leases_claimed"] += 1
+            if stale is not None and stale != self.runner_id:
+                self.stats["leases_reclaimed"] += 1
+            return True
+        self.stats["lease_losses"] += 1
+        return False
+
+    def settle(self, key: str) -> None:
+        """The cell completed here: its ``done`` record supersedes the
+        lease, which is simply left to expire (an explicit release would
+        invite a peer to recompute before it sees the record)."""
+        self.claimed.discard(key)
+
+    def release_key(self, key: str) -> None:
+        """Give the cell up (permanent failure here): a peer with its
+        own attempt budget may claim it immediately."""
+        if key in self.claimed:
+            self.journal.release(self.runner_id, [key])
+            self.claimed.discard(key)
+
+    def release_all(self) -> None:
+        if self.claimed:
+            self.journal.release(self.runner_id, sorted(self.claimed))
+            self.claimed.clear()
+
+
 class SweepRunner:
     """Declarative executor for (config x workload x seed) grids.
 
@@ -141,6 +238,13 @@ class SweepRunner:
     ``retry.timeout_s``; ``checkpoint`` a journal path enabling
     checkpoint/resume; ``fault_plan`` a deterministic
     :class:`~.faults.FaultPlan` for chaos testing.
+
+    Robustness knobs: ``heartbeat_s`` enables the TCP fleet's liveness
+    heartbeat (hung-worker detection + mid-sweep re-admission of
+    restarted workers); ``lease_ttl`` (requires ``checkpoint``) makes
+    the run *cooperative* — several runners pointed at the same journal
+    share one sweep via lease records; ``runner_id`` names this runner
+    in those records (defaults to a pid-based id).
     """
 
     def __init__(
@@ -156,6 +260,9 @@ class SweepRunner:
         fault_plan: FaultPlan | None = None,
         backend: str | ExecutorBackend | None = None,
         workers: str | Sequence[str] | None = None,
+        heartbeat_s: float | None = None,
+        lease_ttl: float | None = None,
+        runner_id: str | None = None,
     ) -> None:
         if jobs is None:
             jobs = default_jobs()
@@ -179,6 +286,26 @@ class SweepRunner:
         self.fault_plan = fault_plan
         self.backend = backend
         self.workers = normalize_addresses(workers) or None
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be positive, got {heartbeat_s}")
+        self.heartbeat_s = heartbeat_s
+        if lease_ttl is not None and lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        if lease_ttl is not None and checkpoint is None:
+            raise ConfigError(
+                "lease_ttl requires checkpoint=<path>: cooperation is "
+                "mediated entirely by the shared sweep journal"
+            )
+        self.lease_ttl = lease_ttl
+        if runner_id is None:
+            # pid + monotonic microseconds: unique among the cooperating
+            # runners on one machine without reaching for os.urandom
+            # (identity is bookkeeping, not part of any result).
+            runner_id = (
+                f"runner-{os.getpid()}-"
+                f"{int(time.monotonic() * 1e6) & 0xFFFFFF:06x}"
+            )
+        self.runner_id = runner_id
         #: Execution summary of the most recent :meth:`run`.
         self.last_stats: dict[str, Any] = {}
         #: Failure manifest of the most recent :meth:`run` (``ok=False``
@@ -255,6 +382,7 @@ class SweepRunner:
         return make_backend(
             spec, jobs=jobs, workers=workers,
             max_rebuilds=2 * pending + 4,
+            heartbeat_s=self.heartbeat_s,
         )
 
     # -- execution ---------------------------------------------------------------
@@ -286,8 +414,14 @@ class SweepRunner:
 
         # Checkpoint journal: replay completed cells of this exact sweep.
         journal: SweepJournal | None = None
+        coop: _LeaseCoop | None = None
         journal_hits = 0
         if self.checkpoint is not None:
+            if self.lease_ttl is not None:
+                # A cooperating runner must never truncate the shared
+                # journal: a fresh header would destroy its peers'
+                # records mid-sweep.
+                resume = True
             journal = SweepJournal(self.checkpoint)
             journal_id = sweep_id(self.root_seed, keys, code_fingerprint())
             if resume:
@@ -298,6 +432,10 @@ class SweepRunner:
                         results[i] = entry
                         journal_hits += 1
             journal.open_for(journal_id, resume=resume)
+            if self.lease_ttl is not None:
+                coop = _LeaseCoop(
+                    journal, journal_id, self.lease_ttl, self.runner_id,
+                )
 
         # Result cache: serve identical (params, seed, code) cells from disk.
         fingerprint_memo: dict[str, str] = {}
@@ -361,11 +499,15 @@ class SweepRunner:
                     prefix_ctx["stored"].add(group)
 
         def finish(i: int, result: JobResult) -> None:
+            if results[i] is not None:
+                return  # already settled (e.g. adopted from a peer)
             results[i] = result
             if not result.ok:
                 failures.append(result)
                 return
-            if journal is not None:
+            if journal is not None and not result.resumed:
+                # Adopted results came *from* the journal — re-recording
+                # them would just mint duplicate done records.
                 journal.record(result)
             if self.cache is not None:
                 self.cache.put(cache_keys[i], result.value)
@@ -376,12 +518,15 @@ class SweepRunner:
             "retries": 0, "timeouts": 0, "pool_breaks": 0, "workers_lost": 0,
             "backend": "serial", "workers": 1,
         }
+        if coop is not None:
+            dispatch_stats.update(coop.stats)
+            dispatch_stats["runner_id"] = self.runner_id
         mode = "serial"
         if pending:
             try:
                 mode = self._dispatch(
                     cells, seeds, pending, finish, injector, dispatch_stats,
-                    prefix_ctx,
+                    prefix_ctx, coop,
                 )
             except KeyboardInterrupt:
                 # Completed cells are already journalled (flushed per
@@ -407,8 +552,12 @@ class SweepRunner:
         }
 
         if journal is not None:
-            if failures:
-                journal.close()  # keep: unfinished cells resume later
+            if failures or coop is not None:
+                # Keep the file: unfinished cells resume later, and in
+                # cooperative mode peers may still be tailing it for
+                # leases/adoptions — unlinking it under them would leave
+                # them waiting on records they can no longer see.
+                journal.close()
             else:
                 journal.complete()
 
@@ -431,11 +580,19 @@ class SweepRunner:
         injector: FaultInjector | None,
         stats: dict[str, Any],
         prefix_ctx: dict[str, Any] | None = None,
+        coop: "_LeaseCoop | None" = None,
     ) -> str:
         """Execute ``pending`` cell indices on the resolved backend with
         retries/timeouts, reporting each completion through ``finish``;
         returns the mode string (``serial``, ``parallel``, or
-        ``serial-fallback``)."""
+        ``serial-fallback``).
+
+        With ``coop``, every cell passes a lease gate before dispatch:
+        cells leased by a live peer park in ``foreign`` (re-checked as
+        leases expire and peers' ``done`` records arrive), and the loop
+        only ends once every cell is settled locally — computed here,
+        adopted from a peer, or failed for good.
+        """
         policy = self.retry
         max_att = policy.max_attempts
         timeout_s = policy.timeout_s
@@ -444,6 +601,9 @@ class SweepRunner:
         queue: deque[int] = deque(pending)
         task_ids = count()
         in_flight: dict[int, tuple[int, float]] = {}  # task_id -> (idx, deadline)
+        settled: set[int] = set()
+        foreign: deque[int] = deque()  # parked: leased by a live peer
+        by_key = {cells[i].key: i for i in pending}
 
         backend: ExecutorBackend | None = None
         serial_only = False
@@ -515,16 +675,27 @@ class SweepRunner:
             prefix_ctx["stored"].add(group)
             prefix_ctx["stores"] += 1
 
+        def settle(idx: int, result: JobResult) -> None:
+            settled.add(idx)
+            if coop is not None:
+                if result.ok:
+                    coop.settle(cells[idx].key)
+                else:
+                    coop.release_key(cells[idx].key)
+            finish(idx, result)
+
         def record_failure(idx: int, error_type: str, message: str) -> None:
             if attempts[idx] >= max_att:
-                finish(idx, JobResult(
+                settle(idx, JobResult(
                     key=cells[idx].key, value=None, seed=seeds[idx],
                     ok=False, error=message, error_type=error_type,
                     attempts=attempts[idx],
                 ))
             else:
                 stats["retries"] += 1
-                ready_at[idx] = time.monotonic() + policy.backoff_s(attempts[idx])
+                ready_at[idx] = time.monotonic() + policy.backoff_s(
+                    attempts[idx], cells[idx].key,
+                )
                 queue.append(idx)
 
         def run_inproc(idx: int) -> None:
@@ -536,7 +707,7 @@ class SweepRunner:
                 record_failure(idx, type(exc).__name__, str(exc) or repr(exc))
                 return
             note_blob(idx, blob)
-            finish(idx, JobResult(
+            settle(idx, JobResult(
                 key=cells[idx].key, value=value, seed=seeds[idx],
                 duration_s=duration, attempts=attempts[idx],
             ))
@@ -544,10 +715,49 @@ class SweepRunner:
         def next_ready(now: float) -> int | None:
             for _ in range(len(queue)):
                 idx = queue.popleft()
+                if idx in settled:
+                    continue
                 if ready_at[idx] <= now:
                     return idx
                 queue.append(idx)
             return None
+
+        def adopt_updates() -> None:
+            """Fold peers' journal activity in: adopt their durable
+            completions, un-park cells whose leases lapsed."""
+            if coop is None:
+                return
+            fresh = coop.poll()
+            for key in sorted(fresh):
+                idx = by_key.get(key)
+                if idx is None or idx in settled:
+                    continue
+                result = fresh[key]
+                if result.seed != seeds[idx]:
+                    continue  # foreign record; recompute rather than trust it
+                settled.add(idx)
+                coop.stats["adopted"] += 1
+                coop.settle(key)
+                finish(idx, result)
+            for _ in range(len(foreign)):
+                idx = foreign.popleft()
+                if idx in settled:
+                    continue
+                if coop.foreign_holder(cells[idx].key) is None:
+                    queue.append(idx)  # lease lapsed/released: contend for it
+                else:
+                    foreign.append(idx)
+
+        def claim_gate(idx: int) -> bool:
+            """May this runner dispatch ``idx`` right now?  Cells a live
+            peer holds park in ``foreign`` (False)."""
+            if coop is None:
+                return True
+            key = cells[idx].key
+            if coop.foreign_holder(key) is not None or not coop.try_claim(key):
+                foreign.append(idx)
+                return False
+            return True
 
         def go_serial() -> None:
             """Fall back to the in-process executor for the rest of the
@@ -563,9 +773,21 @@ class SweepRunner:
                 backend.shutdown(cancel=True)
 
         try:
-            while queue or in_flight:
+            while queue or in_flight or foreign:
+                adopt_updates()
                 if serial_only:
+                    if not queue:
+                        if not foreign:
+                            continue  # settled by adoption; loop re-checks
+                        # Only peer-leased cells remain: wait for their
+                        # done records or their lease expiries.
+                        time.sleep(coop.poll_s)
+                        continue
                     idx = queue.popleft()
+                    if idx in settled:
+                        continue
+                    if not claim_gate(idx):
+                        continue
                     delay = ready_at[idx] - time.monotonic()
                     if delay > 0:
                         time.sleep(delay)
@@ -584,6 +806,8 @@ class SweepRunner:
                     idx = next_ready(now)
                     if idx is None:
                         break
+                    if not claim_gate(idx):
+                        continue
                     if (policy.serial_final_attempt and max_att > 1
                             and not serial_backend
                             and attempts[idx] == max_att - 1):
@@ -612,11 +836,16 @@ class SweepRunner:
                 if not in_flight:
                     if queue:
                         # Nothing in flight, nothing ready: sleep out the
-                        # shortest backoff.
+                        # shortest backoff (but keep polling peers).
                         soonest = min(ready_at[i] for i in queue)
                         pause = soonest - time.monotonic()
+                        if coop is not None:
+                            pause = min(pause, coop.poll_s)
                         if pause > 0:
                             time.sleep(pause)
+                    elif foreign:
+                        # Everything left is leased to live peers.
+                        time.sleep(coop.poll_s)
                     continue
 
                 # Wake on the first completion, the nearest deadline, or
@@ -626,6 +855,9 @@ class SweepRunner:
                     wake = min(wake, min(ready_at[i] for i in queue))
                 wait_t = (None if wake == math.inf
                           else max(0.0, wake - time.monotonic()))
+                if coop is not None:
+                    wait_t = (coop.poll_s if wait_t is None
+                              else min(wait_t, coop.poll_s))
                 outcomes = backend.poll(wait_t)
 
                 rejected = False
@@ -634,9 +866,11 @@ class SweepRunner:
                     if entry is None:
                         continue  # already settled (e.g. timed out)
                     idx, _dl = entry
+                    if idx in settled:
+                        continue  # adopted from a peer while in flight
                     if outcome.kind == OK:
                         note_blob(idx, outcome.prefix_blob)
-                        finish(idx, JobResult(
+                        settle(idx, JobResult(
                             key=cells[idx].key, value=outcome.value,
                             seed=seeds[idx], duration_s=outcome.duration_s,
                             attempts=attempts[idx],
@@ -683,6 +917,8 @@ class SweepRunner:
                         stats["timeouts"] += len(expired)
                         for tid in expired:
                             idx, _dl = in_flight.pop(tid)
+                            if idx in settled:
+                                continue
                             record_failure(
                                 idx, "CellTimeout",
                                 f"cell exceeded {timeout_s}s wall-clock "
@@ -695,6 +931,13 @@ class SweepRunner:
         finally:
             # KeyboardInterrupt / unexpected error: abandon workers and
             # cancel anything not yet started; merge backend counters.
+            if coop is not None:
+                try:
+                    coop.release_all()
+                except OSError:
+                    pass  # journal gone (a peer completed the sweep)
+                for key, value in coop.stats.items():
+                    stats[key] = value
             if backend is not None:
                 backend.shutdown(cancel=True)
                 self.last_worker_health = backend.worker_health()

@@ -1,0 +1,240 @@
+"""Self-healing local fleet: spawn, monitor, and restart sweep workers.
+
+``python -m repro worker pool --workers N`` runs a
+:class:`WorkerSupervisor`: it launches ``N`` fleet worker processes
+(``python -m repro worker serve``) on OS-assigned loopback ports,
+watches them, and restarts any that die — with seeded exponential
+backoff and a per-slot restart budget, so a crash-looping worker backs
+off progressively and is eventually *retired* instead of burning CPU
+forever.
+
+Supervision lifecycle (per slot)::
+
+    spawn ──▶ RUNNING ──exit──▶ BACKOFF ──delay elapsed──▶ spawn
+                 │                  │
+                 │                  └─ restarts > budget ──▶ RETIRED
+                 └──stop()──▶ terminated
+
+Each restart re-binds the *same* address (host:port) the slot was
+originally assigned, which is what makes mid-sweep recovery work: a
+:class:`~repro.runner.backends.tcp.TcpFleetBackend` running with a
+heartbeat re-dials dead addresses periodically, so the replacement
+worker is re-admitted into the fleet without the runner ever knowing a
+pid changed.
+
+The restart backoff is *seeded*, not wall-clock-random: the jitter
+factor is derived from ``(seed, slot, restart count)`` via
+:func:`~.seeding.stable_hash`, so a given supervisor configuration
+replays the same restart schedule every time (the DET discipline applied
+to operations, not just results — flaky-looking restart storms must be
+reproducible to be debuggable).
+
+The supervisor never touches sweep state: workers are stateless cell
+executors, and every durability/retry decision stays in the runner
+(RetryPolicy) and the journal (leases, first-done-wins).  Killing a
+supervised worker mid-cell therefore loses nothing — the runner retries
+the cell elsewhere and the result is bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .seeding import stable_hash
+from .worker import spawn_worker_process
+
+#: Granularity of the deterministic restart-backoff jitter fraction.
+_JITTER_BUCKETS = 4096
+
+
+@dataclass
+class _Slot:
+    """One supervised worker position (a stable address, many pids)."""
+
+    index: int
+    proc: subprocess.Popen | None = None
+    address: str | None = None
+    restarts: int = 0
+    retired: bool = False
+    next_start: float = 0.0
+    last_exit: int | None = None
+    pids: list[int] = field(default_factory=list)
+
+
+class WorkerSupervisor:
+    """Spawn ``workers`` local fleet workers and keep them alive.
+
+    ``max_restarts`` is the per-slot budget: a slot that dies more than
+    this many times is retired permanently (the fleet shrinks — the
+    runner's degrade path owns what happens next).  ``seed`` drives the
+    deterministic restart-backoff jitter.  ``on_event`` (if given)
+    receives ``(event, slot_index, detail)`` tuples for ``spawn``,
+    ``exit``, ``restart``, ``retire``, and ``stop`` — the CLI prints
+    them as JSON lines.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        max_restarts: int = 5,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 30.0,
+        seed: int = 0,
+        spawn_timeout_s: float = 30.0,
+        on_event: Callable[[str, int, str], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        self.host = host
+        self.max_restarts = max_restarts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.seed = seed
+        self.spawn_timeout_s = spawn_timeout_s
+        self.on_event = on_event
+        self.restarts_total = 0
+        self.retired_total = 0
+        self.events: list[tuple[str, int, str]] = []
+        self._slots = [_Slot(index=i) for i in range(workers)]
+        self._stopped = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> list[str]:
+        """Spawn every slot's first worker; returns their addresses."""
+        for slot in self._slots:
+            self._spawn(slot)
+        return self.addresses()
+
+    def addresses(self) -> list[str]:
+        """Every slot's stable ``host:port`` address (spawn order)."""
+        return [slot.address for slot in self._slots if slot.address]
+
+    def _event(self, event: str, slot: _Slot, detail: str) -> None:
+        self.events.append((event, slot.index, detail))
+        if self.on_event is not None:
+            self.on_event(event, slot.index, detail)
+
+    def _spawn(self, slot: _Slot) -> None:
+        # A restart re-binds the slot's original port (the worker's
+        # listener uses SO_REUSEADDR), keeping the address stable so the
+        # runner's re-admission finds the replacement.
+        listen = slot.address or f"{self.host}:0"
+        proc, address = spawn_worker_process(listen, self.spawn_timeout_s)
+        slot.proc = proc
+        slot.address = address
+        slot.pids.append(proc.pid)
+        self._event("spawn", slot, f"pid {proc.pid} on {address}")
+
+    def restart_backoff_s(self, slot_index: int, restarts: int) -> float:
+        """Delay before restart number ``restarts`` of ``slot_index``.
+
+        Exponential with a cap, scaled by a deterministic factor in
+        ``[0.5, 1.5)`` derived from ``(seed, slot, restarts)`` — the same
+        supervisor replays the same restart schedule, and sibling slots
+        that died together do not restart in lockstep.
+        """
+        if restarts <= 0:
+            return 0.0
+        delay = min(self.backoff_cap_s,
+                    self.backoff_base_s * (2 ** (restarts - 1)))
+        frac = (stable_hash("supervisor-restart", self.seed, slot_index,
+                            restarts) % _JITTER_BUCKETS) / _JITTER_BUCKETS
+        return delay * (0.5 + frac)
+
+    def poll(self) -> None:
+        """One supervision tick: reap exits, schedule/execute restarts."""
+        if self._stopped:
+            return
+        now = time.monotonic()
+        for slot in self._slots:
+            if slot.retired:
+                continue
+            if slot.proc is not None:
+                code = slot.proc.poll()
+                if code is None:
+                    continue
+                slot.last_exit = code
+                slot.proc = None
+                self._event("exit", slot, f"exit code {code}")
+                if slot.restarts >= self.max_restarts:
+                    slot.retired = True
+                    self.retired_total += 1
+                    self._event(
+                        "retire", slot,
+                        f"restart budget ({self.max_restarts}) exhausted",
+                    )
+                    continue
+                slot.restarts += 1
+                delay = self.restart_backoff_s(slot.index, slot.restarts)
+                slot.next_start = now + delay
+                self._event(
+                    "restart", slot,
+                    f"attempt {slot.restarts}/{self.max_restarts} "
+                    f"in {delay:.2f}s",
+                )
+                continue
+            if now >= slot.next_start:
+                try:
+                    self._spawn(slot)
+                    self.restarts_total += 1
+                except OSError as exc:
+                    # The replacement itself failed to come up: charge
+                    # the budget and back off again.
+                    self._event("exit", slot, f"respawn failed: {exc}")
+                    if slot.restarts >= self.max_restarts:
+                        slot.retired = True
+                        self.retired_total += 1
+                        self._event(
+                            "retire", slot,
+                            f"restart budget ({self.max_restarts}) exhausted",
+                        )
+                        continue
+                    slot.restarts += 1
+                    slot.next_start = now + self.restart_backoff_s(
+                        slot.index, slot.restarts)
+
+    def run(self, stop: threading.Event | None = None,
+            poll_s: float = 0.2) -> None:
+        """Supervise until ``stop`` is set (or forever)."""
+        while stop is None or not stop.is_set():
+            self.poll()
+            if stop is not None:
+                stop.wait(poll_s)
+            else:
+                time.sleep(poll_s)
+
+    def alive(self) -> int:
+        """Slots with a currently running worker process."""
+        return sum(
+            1 for slot in self._slots
+            if slot.proc is not None and slot.proc.poll() is None
+        )
+
+    def slots(self) -> list[_Slot]:
+        return list(self._slots)
+
+    def stop(self) -> None:
+        """Terminate every worker and stop supervising."""
+        self._stopped = True
+        for slot in self._slots:
+            if slot.proc is None:
+                continue
+            slot.proc.terminate()
+        for slot in self._slots:
+            if slot.proc is None:
+                continue
+            try:
+                slot.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                slot.proc.kill()
+                slot.proc.wait()
+            self._event("stop", slot, f"terminated pid {slot.proc.pid}")
+            slot.proc = None

@@ -8,11 +8,26 @@ Each connection executes one cell at a time in a dedicated thread, so a
 single worker process serves several runners (or several connections
 from one runner) concurrently.
 
+Each connection runs at most one cell at a time, but the cell body
+executes in a *side* thread while the connection's reader loop keeps
+answering ``ping`` with ``pong`` — so the heartbeat measures process
+liveness, not busyness: a worker that misses heartbeats is wedged, not
+merely slow.  (A lock serialises sends, so a ``pong`` never interleaves
+with a ``result`` on the wire.)
+
 Fault-injection semantics on a worker match a pool worker's:
 ``crash`` faults hard-exit the process (the runner sees the connection
 drop — a lost worker), ``hang`` faults sleep past the runner's cell
 deadline, and ``partition`` faults sever this connection while leaving
 the process alive and serving (a network partition, not a death).
+``freeze`` faults (cell stage) mute the connection instead of executing:
+it stays open but nothing — not even a ``pong`` — is ever sent again,
+the exact signature of a stopped or deadlocked worker process, so the
+runner's missed-heartbeat detector can be exercised deterministically.
+
+A ``hello`` carrying a foreign protocol version is answered with an
+``unsupported`` message naming both versions, then the connection is
+closed — a mixed-version fleet fails fast instead of mid-sweep.
 
 Helpers for tests/benches:
 
@@ -43,6 +58,7 @@ from .backends.wire import (
     parse_address,
     recv_message,
     send_message,
+    version_mismatch,
 )
 from .faults import InjectedPartitionError
 
@@ -106,30 +122,78 @@ def _execute(message: dict, in_worker: bool) -> dict:
 
 def _handle_connection(conn: socket.socket, in_worker: bool) -> None:
     buffer = b""
+    send_lock = threading.Lock()
+    severed = threading.Event()
+    busy = threading.Event()  # a cell is executing on this connection
+    muted = False
+
+    def reply(message: dict) -> None:
+        with send_lock:
+            send_message(conn, message)
+
+    def execute_async(message: dict) -> None:
+        # The cell runs in a side thread so the reader loop below keeps
+        # answering pings mid-cell: heartbeats measure process liveness,
+        # not busyness.  ``busy`` clears *before* the result is sent, so
+        # by the time the runner can react to the reply with another
+        # ``run``, this connection already reads as idle again.
+        def body() -> None:
+            try:
+                result = _execute(message, in_worker)
+            except InjectedPartitionError:
+                # Sever the link, stay alive: a partition, not a death.
+                severed.set()
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                return
+            busy.clear()
+            try:
+                reply(result)
+            except OSError:
+                pass
+
+        busy.set()
+        threading.Thread(target=body, daemon=True).start()
+
     try:
         while True:
             message, buffer = recv_message(conn, buffer)
-            if message is None:
+            if message is None or severed.is_set():
                 return
+            if muted:
+                continue  # frozen: read and discard forever, never answer
             op = message.get("op")
             if op == "hello":
+                version = message.get("version")
+                if version != PROTOCOL_VERSION:
+                    reply({
+                        "op": "unsupported", "version": PROTOCOL_VERSION,
+                        "got": version,
+                        "error": str(version_mismatch(
+                            PROTOCOL_VERSION, version, "the runner")),
+                    })
+                    return
                 for entry in reversed(message.get("path") or ()):
                     if isinstance(entry, str) and entry not in sys.path:
                         sys.path.insert(0, entry)
-                send_message(conn, {
+                reply({
                     "op": "welcome", "version": PROTOCOL_VERSION,
                     "pid": os.getpid(), "host": socket.gethostname(),
                 })
             elif op == "ping":
-                send_message(conn, {"op": "pong", "token": message.get("token")})
+                reply({"op": "pong", "token": message.get("token")})
             elif op == "bye":
                 return
             elif op == "run":
-                try:
-                    reply = _execute(message, in_worker)
-                except InjectedPartitionError:
-                    return  # sever the link, stay alive: a partition
-                send_message(conn, reply)
+                if busy.is_set():
+                    return  # protocol violation: one run at a time
+                fault = message.get("fault")
+                if fault and fault[0] == "freeze":
+                    muted = True  # hung-but-connected from here on
+                    continue
+                execute_async(message)
             else:
                 return  # protocol violation: drop the connection
     except (OSError, ValueError):

@@ -17,6 +17,8 @@ covered by the fleet chaos bench (``benchmarks/bench_chaos_sweep.py``).
 from __future__ import annotations
 
 import random
+import socket
+import threading
 
 import pytest
 
@@ -24,14 +26,22 @@ from repro.runner import (
     Fault,
     FaultPlan,
     Job,
+    RetryPolicy,
     SerialBackend,
     SweepJournal,
     SweepRunner,
     TcpFleetBackend,
+    WireProtocolError,
     code_fingerprint,
     make_backend,
     start_thread_worker,
     sweep_id,
+)
+from repro.runner.backends.wire import (
+    PROTOCOL_VERSION,
+    parse_address,
+    recv_message,
+    send_message,
 )
 
 ROOT_SEED = 11
@@ -201,6 +211,84 @@ def test_worker_health_reporting(fleet):
     assert {w.worker_id for w in health} == set(fleet)
     assert sum(w.tasks_done for w in health) == 12
     assert all(w.current_task is None for w in health)
+
+
+# -- wire version negotiation ---------------------------------------------------
+
+
+@pytest.mark.parametrize("reply", [
+    {"op": "welcome", "version": 99, "pid": 0, "host": "impostor"},
+    {"op": "unsupported", "version": 99, "got": PROTOCOL_VERSION,
+     "error": "nope"},
+])
+def test_version_mismatch_runner_side_fails_fast(reply):
+    """A worker speaking a foreign protocol version (or refusing ours)
+    makes ``TcpFleetBackend.start`` raise :class:`WireProtocolError`
+    naming both versions — never a silent drop or a mid-sweep decode
+    error."""
+    server = socket.create_server(("127.0.0.1", 0))
+    host, port = server.getsockname()
+
+    def impostor() -> None:
+        conn, _peer = server.accept()
+        with conn:
+            recv_message(conn, b"")  # the runner's hello
+            send_message(conn, reply)
+
+    thread = threading.Thread(target=impostor, daemon=True)
+    thread.start()
+    backend = TcpFleetBackend([f"{host}:{port}"])
+    try:
+        with pytest.raises(WireProtocolError) as err:
+            backend.start()
+    finally:
+        server.close()
+    message = str(err.value)
+    assert f"v{PROTOCOL_VERSION}" in message
+    assert "99" in message
+
+
+def test_version_mismatch_worker_side_replies_unsupported():
+    """The worker's half of the same handshake: a ``hello`` with a
+    foreign version is answered with ``unsupported`` naming both
+    versions, then the connection closes."""
+    address, stop = start_thread_worker()
+    host, port = parse_address(address)
+    sock = socket.create_connection((host, port), timeout=5.0)
+    try:
+        send_message(sock, {"op": "hello", "version": 99, "path": []})
+        reply, buffer = recv_message(sock, b"")
+        assert reply is not None and reply["op"] == "unsupported"
+        assert reply["version"] == PROTOCOL_VERSION
+        assert reply["got"] == 99
+        assert f"v{PROTOCOL_VERSION}" in reply["error"]
+        assert "99" in reply["error"]
+        assert recv_message(sock, buffer)[0] is None  # connection closed
+    finally:
+        sock.close()
+        stop()
+
+
+def test_hung_worker_detected_by_heartbeat(fleet):
+    """A frozen worker (connection open, nothing ever sent again — not
+    even pongs) is detected by the heartbeat within two intervals and
+    retired like a lost worker; the cell retries elsewhere and the sweep
+    stays bit-identical."""
+    plan = FaultPlan.of(Fault(kind="freeze", cell="grid/1/x", attempts=(1,)))
+    cells = make_grid()
+    reference = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="serial").run(cells)
+    backend = TcpFleetBackend(fleet, heartbeat_s=0.15)
+    runner = SweepRunner(root_seed=ROOT_SEED, backend=backend,
+                         policy="degrade", fault_plan=plan,
+                         retry=RetryPolicy(max_attempts=3, backoff_base_s=0.001))
+    results = runner.run(cells)
+    assert results == reference
+    assert not runner.last_failures
+    assert runner.last_stats["workers_hung"] >= 1
+    assert runner.last_stats["retries"] >= 1
+    hung = [w for w in runner.last_worker_health
+            if not w.alive and "heartbeat" in w.detail]
+    assert hung  # the loss is attributed to missed heartbeats, by name
 
 
 # -- construction / registry ---------------------------------------------------

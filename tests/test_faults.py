@@ -157,6 +157,41 @@ def test_backoff_schedule_is_exponential_and_capped():
     assert policy.backoff_s(9) == pytest.approx(0.3)
 
 
+def test_backoff_jitter_is_keyed_deterministic_and_bounded():
+    policy = RetryPolicy(max_attempts=5, backoff_base_s=0.1,
+                         backoff_cap_s=0.8, jitter=0.5)
+    # Same (key, failure count) -> the same delay, every time.
+    assert policy.backoff_s(2, "c/1") == policy.backoff_s(2, "c/1")
+    # The spread stays within +-jitter/2 of the exact exponential.
+    for failures, base in ((1, 0.1), (2, 0.2), (3, 0.4)):
+        for key in (f"c/{i}" for i in range(32)):
+            delay = policy.backoff_s(failures, key)
+            assert base * 0.75 <= delay <= base * 1.25
+    # Sibling cells that failed together spread out, not retry in lockstep.
+    delays = {policy.backoff_s(1, f"c/{i}") for i in range(32)}
+    assert len(delays) > 16
+    # No key (or jitter=0) -> the exact legacy schedule.
+    assert policy.backoff_s(2) == pytest.approx(0.2)
+    flat = RetryPolicy(backoff_base_s=0.1, jitter=0.0)
+    assert flat.backoff_s(1, "c/1") == pytest.approx(0.1)
+    with pytest.raises(Exception):
+        RetryPolicy(jitter=1.5)
+
+
+def test_freeze_fault_in_process_raises_like_a_failure():
+    # Outside a fleet connection there is nothing to mute: a freeze
+    # surfaces as an ordinary injected failure and retries recover it.
+    from repro.runner import InjectedFreezeError
+
+    cells = make_grid(3)
+    plan = FaultPlan.of(Fault("freeze", 1, attempts=None))
+    runner = SweepRunner(jobs=1, root_seed=9, policy="degrade",
+                         retry=FAST_RETRY, fault_plan=plan)
+    results = runner.run(cells)
+    assert results[1].error_type == InjectedFreezeError.__name__
+    assert results[0].ok and results[2].ok
+
+
 # -- pool recovery: crashes, hangs/timeouts, mid-sweep BrokenProcessPool --------
 
 

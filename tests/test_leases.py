@@ -1,0 +1,279 @@
+"""Journal leases and cooperative sweeps — concurrent-append atomicity,
+lease claim/renew/release/expiry, first-durable-done-wins dedup, and two
+runners draining one sweep through one shared journal.
+
+The journal is the entire coordination substrate: every property here
+(no interleaved partial lines, file-order claim arbitration, adoption of
+peers' completions, reclaim of a dead peer's cells) folds out of the
+append-only record sequence, so two runners replaying the same file
+always agree on who owns what and who finished first.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runner.cache import code_fingerprint
+from repro.runner import (
+    Job,
+    JobResult,
+    LeaseTable,
+    SweepJournal,
+    SweepRunner,
+    sweep_id,
+)
+
+ROOT_SEED = 29
+
+
+def grid_cell(a: int, b: str, seed: int) -> tuple:
+    return (a, b, seed, random.Random(seed).random())
+
+
+def slow_cell(a: int, seed: int) -> tuple:
+    """Deterministic value, but slow enough that two cooperating runners
+    genuinely overlap on a 16-cell sweep."""
+    time.sleep(0.01)
+    return (a, seed, random.Random(seed).random())
+
+
+def make_grid(n: int, fn=grid_cell, **extra) -> list[Job]:
+    if fn is grid_cell:
+        extra.setdefault("b", "p")
+    return [Job.of(fn, key=f"c/{i}", a=i, **extra) for i in range(n)]
+
+
+def clean_reference(cells, root_seed=ROOT_SEED):
+    return {r.key: r for r in SweepRunner(jobs=1, root_seed=root_seed).run(cells)}
+
+
+# -- concurrent-append safety ---------------------------------------------------
+
+
+def test_two_writers_never_interleave_partial_lines(tmp_path):
+    """Records appended by two journal handles (O_APPEND, one write per
+    line) from racing threads land whole — every line parses and every
+    record loads."""
+    path = tmp_path / "shared.journal"
+    jid = sweep_id(1, [f"c/{i}" for i in range(200)], "fp")
+    a, b = SweepJournal(path), SweepJournal(path)
+    a.open_for(jid, resume=False)
+    b.open_for(jid, resume=True)
+
+    def write(journal: SweepJournal, offset: int) -> None:
+        for i in range(offset, 200, 2):
+            # A long-ish payload raises the odds any non-atomic append
+            # would tear mid-line.
+            journal.record(JobResult(
+                key=f"c/{i}", value={"i": i, "pad": "x" * 512}, seed=i,
+            ))
+
+    threads = [threading.Thread(target=write, args=(a, 0)),
+               threading.Thread(target=write, args=(b, 1))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    a.close()
+    b.close()
+
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line:
+            json.loads(line)  # every line is complete JSON
+    fresh = SweepJournal(path)
+    done = fresh.load(jid)
+    assert set(done) == {f"c/{i}" for i in range(200)}
+    assert fresh.skipped_records == 0
+    assert all(done[f"c/{i}"].value["i"] == i for i in range(200))
+
+
+def test_two_writer_torn_tail_recovers_and_survivors_resume(tmp_path):
+    """One of two writers dies mid-append (torn, newline-less tail); the
+    other writer's records and every complete record still load, and a
+    resuming journal neutralises the tear."""
+    path = tmp_path / "shared.journal"
+    jid = sweep_id(2, [f"c/{i}" for i in range(8)], "fp")
+    a, b = SweepJournal(path), SweepJournal(path)
+    a.open_for(jid, resume=False)
+    b.open_for(jid, resume=True)
+    for i in range(4):
+        a.record(JobResult(key=f"c/{i}", value=i, seed=i))
+    for i in range(4, 7):
+        b.record(JobResult(key=f"c/{i}", value=i, seed=i))
+    a.close()
+    b.close()
+    # Writer B dies mid-append of c/7: a torn tail, exactly what a
+    # single interrupted write() can leave behind.
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write('{"key": "c/7", "seed": 7, "value": "trunc')
+
+    survivor = SweepJournal(path)
+    assert set(survivor.load(jid)) == {f"c/{i}" for i in range(7)}
+    # A third writer re-opens for append: the tear is neutralised and
+    # subsequent records parse cleanly after it.
+    survivor.open_for(jid, resume=True)
+    survivor.record(JobResult(key="c/7", value=7, seed=7))
+    survivor.close()
+    done = SweepJournal(path).load(jid)
+    assert set(done) == {f"c/{i}" for i in range(8)}
+
+
+# -- lease records --------------------------------------------------------------
+
+
+def test_lease_claim_renew_release_expiry_roundtrip(tmp_path):
+    path = tmp_path / "leases.journal"
+    jid = sweep_id(3, ["a", "b", "c"], "fp")
+    journal = SweepJournal(path)
+    journal.open_for(jid, resume=False)
+    journal.load(jid)
+
+    journal.claim("r1", ["a", "b"], ttl_s=30.0)
+    journal.poll_updates(jid)
+    assert journal.leases.holder("a") == "r1"
+    assert journal.leases.holder("b") == "r1"
+    assert journal.leases.holder("c") is None
+    assert journal.leases.held_by("r1") == ["a", "b"]
+
+    # A later claim by another runner on a held key loses (file order).
+    journal.claim("r2", ["a"], ttl_s=30.0)
+    journal.poll_updates(jid)
+    assert journal.leases.holder("a") == "r1"
+
+    # Renew extends, release clears.
+    journal.renew("r1", ["a"], ttl_s=60.0)
+    journal.release("r1", ["b"])
+    journal.poll_updates(jid)
+    assert journal.leases.holder("a") == "r1"
+    assert journal.leases.holder("b") is None
+    journal.close()
+
+
+def test_expired_lease_is_reclaimable_and_names_stale_holder():
+    table = LeaseTable()
+    table.apply({"kind": "lease", "op": "claim", "runner": "dead",
+                 "key": "a", "expires": 100.0}, now=50.0)
+    assert table.holder("a", now=99.0) == "dead"
+    # Past expiry the lease no longer holds, and the lapsed holder is
+    # visible for reclaim accounting.
+    assert table.holder("a", now=101.0) is None
+    assert table.stale_holder("a", now=101.0) == "dead"
+    # A survivor's claim over the expired lease wins and evicts it.
+    table.apply({"kind": "lease", "op": "claim", "runner": "live",
+                 "key": "a", "expires": 200.0}, now=150.0)
+    assert table.holder("a", now=151.0) == "live"
+    assert table.stale_holder("a", now=151.0) == "dead"
+    # Renew by a non-holder is ignored.
+    table.apply({"kind": "lease", "op": "renew", "runner": "dead",
+                 "key": "a", "expires": 999.0}, now=151.0)
+    assert table.holder("a", now=500.0) is None
+
+
+# -- first-durable-done-wins ----------------------------------------------------
+
+
+def test_duplicate_done_records_resolve_first_wins(tmp_path):
+    path = tmp_path / "dupes.journal"
+    jid = sweep_id(4, ["a", "b"], "fp")
+    journal = SweepJournal(path)
+    journal.open_for(jid, resume=False)
+    journal.record(JobResult(key="a", value={"v": 1}, seed=5))
+    journal.record(JobResult(key="a", value={"v": 1}, seed=5))  # benign dupe
+    journal.record(JobResult(key="b", value=10, seed=6))
+    journal.close()
+
+    fresh = SweepJournal(path)
+    done = fresh.load(jid)
+    assert done["a"].value == {"v": 1}
+    assert fresh.duplicate_records == 1
+    assert fresh.conflicting_records == 0
+
+    # A conflicting duplicate (same key, different payload) is dropped
+    # loudly and the first durable record stays authoritative.
+    journal.open_for(jid, resume=True)
+    journal.record(JobResult(key="b", value=999, seed=6))
+    journal.close()
+    fresh = SweepJournal(path)
+    with pytest.warns(RuntimeWarning, match="conflicting duplicate"):
+        done = fresh.load(jid)
+    assert done["b"].value == 10
+    assert fresh.conflicting_records == 1
+
+
+# -- cooperative sweeps ---------------------------------------------------------
+
+
+def test_lease_ttl_requires_checkpoint():
+    with pytest.raises(ConfigError):
+        SweepRunner(jobs=1, lease_ttl=1.0)
+
+
+def test_two_runners_cooperatively_drain_one_sweep(tmp_path):
+    """Two runners, one journal: both return the full bit-identical
+    result set, the work is claimed exactly once per cell, and at least
+    one side adopts the other's completions instead of recomputing."""
+    path = tmp_path / "coop.journal"
+    cells = make_grid(16, fn=slow_cell)
+    reference = clean_reference(cells)
+
+    barrier = threading.Barrier(2)
+    outputs: dict[str, list] = {}
+    stats: dict[str, dict] = {}
+
+    def drive(tag: str) -> None:
+        runner = SweepRunner(
+            jobs=1, root_seed=ROOT_SEED, policy="degrade",
+            checkpoint=path, lease_ttl=2.0, runner_id=tag,
+        )
+        barrier.wait(timeout=10.0)
+        outputs[tag] = runner.run(cells)
+        stats[tag] = runner.last_stats
+
+    threads = [threading.Thread(target=drive, args=(tag,))
+               for tag in ("r1", "r2")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads)
+
+    for tag in ("r1", "r2"):
+        assert {r.key: r for r in outputs[tag]} == reference
+        assert stats[tag]["failures"] == 0
+    # Each cell was computed under exactly one lease; everything else
+    # was adopted from the peer's durable done records.
+    claimed = sum(stats[tag]["leases_claimed"] for tag in ("r1", "r2"))
+    adopted = sum(stats[tag]["adopted"] for tag in ("r1", "r2"))
+    assert claimed == len(cells)
+    assert adopted >= 1
+    assert claimed - len(cells) == 0 and adopted <= len(cells)
+
+
+def test_dead_runners_expired_leases_are_reclaimed(tmp_path):
+    """A runner that died holding leases (simulated by ghost claim
+    records that never renew) only delays its cells by the TTL: a
+    survivor reclaims and completes them."""
+    path = tmp_path / "reclaim.journal"
+    cells = make_grid(6)
+    reference = clean_reference(cells)
+
+    keys = [job.key for job in cells]
+    jid = sweep_id(ROOT_SEED, keys, code_fingerprint())
+    ghost = SweepJournal(path)
+    ghost.open_for(jid, resume=False)
+    ghost.claim("ghost", keys[:3], ttl_s=0.2)
+    ghost.close()
+
+    survivor = SweepRunner(jobs=1, root_seed=ROOT_SEED, policy="degrade",
+                           checkpoint=path, lease_ttl=0.5,
+                           runner_id="survivor")
+    results = survivor.run(cells)
+    assert {r.key: r for r in results} == reference
+    assert survivor.last_stats["leases_reclaimed"] >= 1
+    assert survivor.last_stats["failures"] == 0

@@ -1,0 +1,166 @@
+"""Worker supervision: seeded restart backoff, same-address restart with
+mid-sweep re-admission, and restart-budget retirement.
+
+The subprocess tests spawn real ``python -m repro worker serve``
+children through :class:`WorkerSupervisor`; environments that cannot
+fork/exec skip them instead of failing.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.runner import (
+    Job,
+    RetryPolicy,
+    SweepRunner,
+    WorkerSupervisor,
+)
+
+ROOT_SEED = 17
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base_s=0.001)
+
+
+def pool_cell(a: int, seed: int) -> tuple:
+    return (a, seed, random.Random(seed).random())
+
+
+def make_grid(n: int) -> list[Job]:
+    return [Job.of(pool_cell, key=f"c/{i}", a=i) for i in range(n)]
+
+
+def clean_reference(cells):
+    return {r.key: r for r in SweepRunner(jobs=1, root_seed=ROOT_SEED).run(cells)}
+
+
+def start_supervisor(**kwargs) -> WorkerSupervisor:
+    supervisor = WorkerSupervisor(**kwargs)
+    try:
+        supervisor.start()
+    except OSError as exc:
+        supervisor.stop()
+        pytest.skip(f"cannot spawn worker subprocess here: {exc}")
+    return supervisor
+
+
+def wait_for(predicate, supervisor, timeout_s: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        supervisor.poll()
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError("supervisor did not reach expected state in time")
+
+
+# -- restart backoff (pure unit, no subprocesses) -------------------------------
+
+
+def test_restart_backoff_is_seeded_exponential_and_capped():
+    sup = WorkerSupervisor(workers=1, backoff_base_s=0.25, backoff_cap_s=4.0,
+                           seed=7)
+    assert sup.restart_backoff_s(0, 0) == 0.0
+
+    # Same (seed, slot, restart) → same delay, every time and on a
+    # fresh supervisor: the restart schedule is replayable.
+    twin = WorkerSupervisor(workers=1, backoff_base_s=0.25, backoff_cap_s=4.0,
+                            seed=7)
+    schedule = [sup.restart_backoff_s(0, n) for n in range(1, 9)]
+    assert schedule == [twin.restart_backoff_s(0, n) for n in range(1, 9)]
+
+    # Jitter stays within [0.5x, 1.5x) of the exact exponential, and the
+    # cap bounds the exponential itself.
+    for n, delay in enumerate(schedule, start=1):
+        exact = min(4.0, 0.25 * 2 ** (n - 1))
+        assert 0.5 * exact <= delay < 1.5 * exact
+    assert max(schedule) < 1.5 * 4.0
+
+    # Sibling slots that died together do not restart in lockstep, and a
+    # different seed yields a different schedule.
+    first = [sup.restart_backoff_s(slot, 1) for slot in range(8)]
+    assert len(set(first)) > 4
+    other = WorkerSupervisor(workers=1, backoff_base_s=0.25, backoff_cap_s=4.0,
+                             seed=8)
+    assert [other.restart_backoff_s(0, n) for n in range(1, 9)] != schedule
+
+
+def test_supervisor_rejects_bad_config():
+    with pytest.raises(ValueError):
+        WorkerSupervisor(workers=0)
+    with pytest.raises(ValueError):
+        WorkerSupervisor(max_restarts=-1)
+
+
+# -- real subprocess supervision ------------------------------------------------
+
+
+def test_killed_worker_restarts_on_same_address_and_serves_sweeps():
+    sup = start_supervisor(workers=1, backoff_base_s=0.05, max_restarts=3,
+                           spawn_timeout_s=30.0)
+    try:
+        [address] = sup.addresses()
+        slot = sup.slots()[0]
+        first_pid = slot.pids[0]
+
+        slot.proc.kill()
+        wait_for(lambda: sup.alive() == 1 and sup.restarts_total == 1, sup)
+
+        slot = sup.slots()[0]
+        assert slot.address == address  # the replacement re-bound the port
+        assert slot.pids[0] == first_pid and len(slot.pids) == 2
+        assert slot.pids[1] != first_pid
+        assert slot.last_exit not in (None, 0)
+        assert [e for e, *_ in sup.events].count("spawn") == 2
+        assert any(e == "restart" for e, *_ in sup.events)
+
+        # The restarted worker is a fully functional fleet member: a
+        # sweep against its (unchanged) address is bit-identical to
+        # serial.
+        cells = make_grid(6)
+        runner = SweepRunner(jobs=1, root_seed=ROOT_SEED, backend="tcp",
+                             workers=[address], policy="degrade",
+                             retry=FAST_RETRY)
+        results = {r.key: r for r in runner.run(cells)}
+        assert results == clean_reference(cells)
+        assert runner.last_stats["failures"] == 0
+    finally:
+        sup.stop()
+    assert sup.alive() == 0
+
+
+def test_crash_looping_worker_is_retired_and_sweep_survives():
+    sup = start_supervisor(workers=2, backoff_base_s=0.02, max_restarts=1,
+                           spawn_timeout_s=30.0)
+    try:
+        addresses = sup.addresses()
+        victim = sup.slots()[0]
+
+        # First death consumes the whole budget (max_restarts=1)...
+        victim.proc.kill()
+        wait_for(lambda: sup.restarts_total == 1, sup)
+        # ...so the second death retires the slot instead of respawning.
+        sup.slots()[0].proc.kill()
+        wait_for(lambda: sup.retired_total == 1, sup)
+
+        victim = sup.slots()[0]
+        assert victim.retired and victim.proc is None
+        assert any(e == "retire" and i == 0 for e, i, _ in sup.events)
+        # Retired means retired: further polls never resurrect it.
+        for _ in range(5):
+            sup.poll()
+        assert sup.alive() == 1 and sup.restarts_total == 1
+
+        # The fleet shrank but the sweep does not care: the runner loses
+        # the dead address and completes bit-identically on the survivor.
+        cells = make_grid(6)
+        runner = SweepRunner(jobs=2, root_seed=ROOT_SEED, backend="tcp",
+                             workers=addresses, policy="degrade",
+                             retry=FAST_RETRY)
+        results = {r.key: r for r in runner.run(cells)}
+        assert results == clean_reference(cells)
+        assert runner.last_stats["failures"] == 0
+    finally:
+        sup.stop()
